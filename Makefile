@@ -1,0 +1,43 @@
+# scAtteR reproduction — build/test/bench entry points.
+
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerates every paper figure plus the extension experiments.
+figures:
+	$(GO) run ./cmd/scatter-bench -fig all
+
+# One benchmark per paper figure + micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing passes over the wire/payload decoders.
+fuzz:
+	$(GO) test ./internal/wire -fuzz FuzzUnmarshalBinary -fuzztime 30s
+	$(GO) test ./internal/core -fuzz FuzzDecodePayload -fuzztime 30s
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/multiclient
+	$(GO) run ./examples/netem
+	$(GO) run ./examples/failover
+
+clean:
+	$(GO) clean ./...
+	rm -rf internal/wire/testdata internal/core/testdata

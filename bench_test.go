@@ -1,0 +1,220 @@
+package scatter
+
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// (Figures 2-4, 6-12) plus the headline comparison of §1/§5. Each
+// iteration regenerates the figure's full data series on the simulated
+// testbed; reported ns/op is the wall cost of a complete regeneration.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The CLI equivalent (with rendered tables) is cmd/scatter-bench.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/experiments"
+)
+
+// benchDuration is the virtual run length per experiment point inside
+// benchmarks — long enough for steady-state statistics, short enough to
+// keep `go test -bench=.` pleasant.
+const benchDuration = 20 * time.Second
+
+func BenchmarkFig2BaselineEdge(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, _ := experiments.Fig2(benchDuration)
+		if len(pts) != 16 {
+			b.Fatalf("fig2 points = %d", len(pts))
+		}
+	}
+}
+
+func BenchmarkFig3Scalability(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, _ := experiments.Fig3(benchDuration)
+		if len(pts) != 12 {
+			b.Fatalf("fig3 points = %d", len(pts))
+		}
+	}
+}
+
+func BenchmarkFig4Cloud(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, _ := experiments.Fig4(benchDuration)
+		if len(pts) != 4 {
+			b.Fatalf("fig4 points = %d", len(pts))
+		}
+	}
+}
+
+func BenchmarkFig6ScatterPP(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, _ := experiments.Fig6(benchDuration)
+		if len(pts) != 16 {
+			b.Fatalf("fig6 points = %d", len(pts))
+		}
+	}
+}
+
+func BenchmarkFig7ScaledClients(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, _ := experiments.Fig7(benchDuration)
+		if len(pts) != 30 {
+			b.Fatalf("fig7 points = %d", len(pts))
+		}
+	}
+}
+
+func BenchmarkFig8SidecarAnalytics(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pt, _ := experiments.Fig8()
+		if pt.Clients != 10 {
+			b.Fatalf("fig8 clients = %d", pt.Clients)
+		}
+	}
+}
+
+func BenchmarkFig9NetworkConditions(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, _ := experiments.Fig9(benchDuration)
+		if len(pts) != 28 {
+			b.Fatalf("fig9 points = %d", len(pts))
+		}
+	}
+}
+
+func BenchmarkFig10Jitter(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, _ := experiments.Fig10(benchDuration)
+		if len(pts) != 32 {
+			b.Fatalf("fig10 points = %d", len(pts))
+		}
+	}
+}
+
+func BenchmarkFig11Hybrid(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, _ := experiments.Fig11(benchDuration)
+		if len(pts) != 12 { // 4 UDP + 4 reliable + 4 three-way split
+			b.Fatalf("fig11 points = %d", len(pts))
+		}
+	}
+}
+
+func BenchmarkFig12SidecarE1(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pt, _ := experiments.Fig12()
+		if pt.Clients != 4 {
+			b.Fatalf("fig12 clients = %d", pt.Clients)
+		}
+	}
+}
+
+func BenchmarkHeadlineComparison(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Headline(benchDuration)
+		if res.MultiClientFPSRatio <= 1 {
+			b.Fatalf("headline ratio = %v", res.MultiClientFPSRatio)
+		}
+	}
+}
+
+// BenchmarkAppAwareOrchestration regenerates the §6 future-work
+// extension: static vs hardware-threshold vs QoS-driven autoscaling.
+func BenchmarkAppAwareOrchestration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, _ := experiments.AppAware(60 * time.Second)
+		if len(pts) != 6 {
+			b.Fatalf("appaware points = %d", len(pts))
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice ablation suite
+// (threshold, queue capacity, fetch/state timeouts).
+func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Ablations(benchDuration)
+		if len(r.Tables) != 5 {
+			b.Fatalf("ablation tables = %d", len(r.Tables))
+		}
+	}
+}
+
+// BenchmarkSeedSensitivity regenerates the repeatability analysis.
+func BenchmarkSeedSensitivity(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pts, _ := experiments.SeedSensitivity(benchDuration, 3)
+		if len(pts) != 4 {
+			b.Fatalf("variance points = %d", len(pts))
+		}
+	}
+}
+
+// BenchmarkSimulatedSecond measures raw simulator throughput: one virtual
+// second of a 4-client scAtteR++ run per iteration.
+func BenchmarkSimulatedSecond(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RunExperiment(RunSpec{
+			Name:      "bench",
+			Mode:      ModeScatterPP,
+			Placement: PlacementC1,
+			Clients:   4,
+			Duration:  time.Second,
+			Seed:      int64(i + 1),
+		})
+	}
+}
+
+// BenchmarkTrainModel measures recognition-model training (SIFT + PCA +
+// GMM + LSH) on the reference dataset.
+func BenchmarkTrainModel(b *testing.B) {
+	video := NewVideoSource(VideoConfig{W: 320, H: 180, FPS: 10, Seconds: 1, Seed: 7})
+	refs := video.ReferenceImages()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(refs, TrainConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRealPipelineFrame measures one frame through the five real
+// services in-process (the vision cost a GPU accelerates in the paper).
+func BenchmarkRealPipelineFrame(b *testing.B) {
+	video := NewVideoSource(VideoConfig{W: 320, H: 180, FPS: 10, Seconds: 1, Seed: 7})
+	model, err := Train(video.ReferenceImages(), TrainConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	procs := NewProcessors(model, true, 320, 180)
+	payload := FramePayload(video, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr := &Frame{ClientID: 1, FrameNo: uint64(i + 1), Step: StepPrimary, Payload: payload}
+		for step := range procs {
+			if err := procs[step].Process(fr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

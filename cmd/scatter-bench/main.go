@@ -1,0 +1,88 @@
+// Command scatter-bench regenerates the paper's evaluation figures on the
+// simulated edge-cloud testbed and prints the measured series next to the
+// paper's expectations.
+//
+// Usage:
+//
+//	scatter-bench -fig all            # every figure + headline scalars
+//	scatter-bench -fig fig2,fig6      # specific figures
+//	scatter-bench -fig headline -duration 120s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/experiments"
+)
+
+func main() {
+	figs := flag.String("fig", "all",
+		"comma-separated figures to run: fig2..fig12, headline, appaware, ablations, variance, or 'all'")
+	duration := flag.Duration("duration", experiments.DefaultDuration,
+		"virtual run length per experiment point (figures 8/12 use their own staged schedule)")
+	csvDir := flag.String("csv", "", "also write each figure's tables as CSV files into this directory")
+	flag.Parse()
+
+	runners := map[string]func() experiments.Report{
+		"fig2":  func() experiments.Report { _, r := experiments.Fig2(*duration); return r },
+		"fig3":  func() experiments.Report { _, r := experiments.Fig3(*duration); return r },
+		"fig4":  func() experiments.Report { _, r := experiments.Fig4(*duration); return r },
+		"fig6":  func() experiments.Report { _, r := experiments.Fig6(*duration); return r },
+		"fig7":  func() experiments.Report { _, r := experiments.Fig7(*duration); return r },
+		"fig8":  func() experiments.Report { _, r := experiments.Fig8(); return r },
+		"fig9":  func() experiments.Report { _, r := experiments.Fig9(*duration); return r },
+		"fig10": func() experiments.Report { _, r := experiments.Fig10(*duration); return r },
+		"fig11": func() experiments.Report { _, r := experiments.Fig11(*duration); return r },
+		"fig12": func() experiments.Report { _, r := experiments.Fig12(); return r },
+		"headline": func() experiments.Report {
+			_, r := experiments.Headline(*duration)
+			return r
+		},
+		"appaware":  func() experiments.Report { _, r := experiments.AppAware(0); return r },
+		"ablations": func() experiments.Report { return experiments.Ablations(*duration) },
+		"variance":  func() experiments.Report { _, r := experiments.SeedSensitivity(*duration, 5); return r },
+	}
+	order := []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "headline", "appaware", "ablations", "variance"}
+
+	var selected []string
+	if *figs == "all" {
+		selected = order
+	} else {
+		for _, f := range strings.Split(*figs, ",") {
+			f = strings.TrimSpace(strings.ToLower(f))
+			if f == "" {
+				continue
+			}
+			if _, ok := runners[f]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown figure %q (known: %s)\n", f, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, f)
+		}
+	}
+	if len(selected) == 0 {
+		fmt.Fprintln(os.Stderr, "nothing to run")
+		os.Exit(2)
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		report := runners[name]()
+		fmt.Println(report.Render())
+		if *csvDir != "" {
+			paths, err := report.WriteCSV(*csvDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "csv export: %v\n", err)
+				os.Exit(1)
+			}
+			for _, p := range paths {
+				fmt.Printf("   [csv: %s]\n", p)
+			}
+		}
+		fmt.Printf("   [%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

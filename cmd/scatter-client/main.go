@@ -1,0 +1,110 @@
+// Command scatter-client streams the synthetic workplace clip into a
+// running scAtteR deployment over UDP and reports the QoS metrics the
+// paper measures: frame rate, end-to-end latency, success rate, and
+// jitter.
+//
+// Usage:
+//
+//	scatter-client -ingress 127.0.0.1:7001 -fps 30 -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/agent"
+	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/trace"
+)
+
+func main() {
+	ingress := flag.String("ingress", "127.0.0.1:7001", "primary service UDP address")
+	id := flag.Uint("id", 1, "client identifier")
+	fps := flag.Int("fps", 30, "camera frame rate")
+	duration := flag.Duration("duration", 30*time.Second, "streaming duration")
+	width := flag.Int("w", 320, "capture width")
+	height := flag.Int("h", 180, "capture height")
+	seed := flag.Int64("seed", 7, "clip seed (must match the nodes' train seed)")
+	network := flag.String("network", "udp", "transport: udp or tcp (must match the deployment)")
+	flag.Parse()
+
+	gen := trace.NewGenerator(trace.Config{W: *width, H: *height, FPS: *fps, Seed: *seed})
+	client, err := agent.StartClient(agent.ClientConfig{
+		ID:      uint32(*id),
+		FPS:     *fps,
+		Ingress: *ingress,
+		Network: *network,
+		NextFrame: func(i int) []byte {
+			img := gen.GrayFrame(i % gen.NumFrames())
+			return (&core.Payload{Image: core.GrayToPayload(img)}).Encode()
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scatter-client: %v\n", err)
+		os.Exit(1)
+	}
+	defer client.Close()
+
+	fmt.Printf("streaming %dx%d @ %d FPS to %s for %v\n", *width, *height, *fps, *ingress, *duration)
+	deadline := time.After(*duration)
+	var e2es []time.Duration
+	var detections int
+	results := 0
+	type stageAgg struct {
+		queue, proc time.Duration
+		n           int
+	}
+	stages := map[string]*stageAgg{}
+loop:
+	for {
+		select {
+		case res := <-client.Results():
+			results++
+			detections += len(res.Detections)
+			e2es = append(e2es, res.E2E)
+			for _, st := range res.Stages {
+				agg, ok := stages[st.Step.String()]
+				if !ok {
+					agg = &stageAgg{}
+					stages[st.Step.String()] = agg
+				}
+				agg.queue += time.Duration(st.QueueMicros) * time.Microsecond
+				agg.proc += time.Duration(st.ProcMicros) * time.Microsecond
+				agg.n++
+			}
+		case <-deadline:
+			break loop
+		}
+	}
+	sent := client.Sent()
+	fmt.Printf("\nsent=%d received=%d success=%.1f%%\n",
+		sent, results, 100*float64(results)/float64(max(sent, 1)))
+	fmt.Printf("fps=%.1f detections/frame=%.2f\n",
+		float64(results)/duration.Seconds(), float64(detections)/float64(max(uint64(results), 1)))
+	if len(e2es) > 0 {
+		sort.Slice(e2es, func(i, j int) bool { return e2es[i] < e2es[j] })
+		var sum time.Duration
+		for _, d := range e2es {
+			sum += d
+		}
+		fmt.Printf("e2e mean=%v p50=%v p95=%v\n",
+			(sum / time.Duration(len(e2es))).Round(time.Millisecond),
+			e2es[len(e2es)/2].Round(time.Millisecond),
+			e2es[len(e2es)*95/100].Round(time.Millisecond))
+	}
+	if len(stages) > 0 {
+		fmt.Println("\nper-stage sidecar analytics (from frame state):")
+		for _, name := range []string{"primary", "sift", "encoding", "lsh", "matching"} {
+			agg, ok := stages[name]
+			if !ok || agg.n == 0 {
+				continue
+			}
+			fmt.Printf("  %-9s mean queue=%-8v mean proc=%v\n", name,
+				(agg.queue / time.Duration(agg.n)).Round(100*time.Microsecond),
+				(agg.proc / time.Duration(agg.n)).Round(100*time.Microsecond))
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Command scatter-node hosts scAtteR service workers on one machine: it
+// trains (or re-derives deterministically) the recognition model, starts
+// the requested services on their UDP ingress addresses, serves sift's
+// state-fetch RPC in stateful mode, and optionally registers with a root
+// orchestrator and heartbeats hardware telemetry.
+//
+// The deployment is described by a JSON file:
+//
+//	{
+//	  "mode": "scatter++",
+//	  "analysis_width": 320, "analysis_height": 180,
+//	  "train_seed": 7,
+//	  "services": [
+//	    {"step": "primary",  "listen": "127.0.0.1:7001"},
+//	    {"step": "sift",     "listen": "127.0.0.1:7002", "state_rpc": "127.0.0.1:7102"},
+//	    {"step": "encoding", "listen": "127.0.0.1:7003"},
+//	    {"step": "lsh",      "listen": "127.0.0.1:7004"},
+//	    {"step": "matching", "listen": "127.0.0.1:7005", "sift_rpc": "127.0.0.1:7102"}
+//	  ],
+//	  "routes": {
+//	    "sift": ["127.0.0.1:7002"], "encoding": ["127.0.0.1:7003"],
+//	    "lsh": ["127.0.0.1:7004"], "matching": ["127.0.0.1:7005"]
+//	  }
+//	}
+//
+// Split deployments run scatter-node on several machines with routes
+// pointing across hosts, exactly as the paper pins services to E1/E2.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/agent"
+	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/orchestrator"
+	"github.com/edge-mar/scatter/internal/trace"
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+type serviceSpec struct {
+	Step     string `json:"step"`
+	Listen   string `json:"listen"`
+	StateRPC string `json:"state_rpc,omitempty"`
+	SiftRPC  string `json:"sift_rpc,omitempty"`
+}
+
+type nodeConfig struct {
+	Mode           string              `json:"mode"`    // "scatter" or "scatter++"
+	Network        string              `json:"network"` // "udp" (default) or "tcp"
+	AnalysisWidth  int                 `json:"analysis_width"`
+	AnalysisHeight int                 `json:"analysis_height"`
+	TrainSeed      int64               `json:"train_seed"`
+	Services       []serviceSpec       `json:"services"`
+	Routes         map[string][]string `json:"routes"`
+	// Orchestrator, when set, is the root control plane URL this node
+	// registers with and heartbeats to.
+	Orchestrator string                 `json:"orchestrator,omitempty"`
+	Node         *orchestrator.NodeInfo `json:"node,omitempty"`
+}
+
+func parseStep(name string) (wire.Step, error) {
+	for s := wire.StepPrimary; s < wire.StepDone; s++ {
+		if s.String() == strings.ToLower(name) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown service %q", name)
+}
+
+func main() {
+	configPath := flag.String("config", "", "path to the node deployment JSON (required)")
+	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "scatter-node: -config is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*configPath)
+	if err != nil {
+		log.Error("read config", "err", err)
+		os.Exit(1)
+	}
+	var cfg nodeConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Error("parse config", "err", err)
+		os.Exit(1)
+	}
+	mode := core.ModeScatter
+	switch strings.ToLower(cfg.Mode) {
+	case "", "scatter":
+	case "scatter++", "scatterpp":
+		mode = core.ModeScatterPP
+	default:
+		log.Error("unknown mode", "mode", cfg.Mode)
+		os.Exit(2)
+	}
+	if cfg.AnalysisWidth <= 0 {
+		cfg.AnalysisWidth = 320
+	}
+	if cfg.AnalysisHeight <= 0 {
+		cfg.AnalysisHeight = 180
+	}
+	if cfg.TrainSeed == 0 {
+		cfg.TrainSeed = 7
+	}
+
+	// Every node derives the identical model from the shared seed — the
+	// stand-in for distributing a trained model artifact.
+	gen := trace.NewGenerator(trace.Config{
+		W: cfg.AnalysisWidth, H: cfg.AnalysisHeight, Seed: cfg.TrainSeed,
+	})
+	log.Info("training recognition model", "seed", cfg.TrainSeed)
+	model, err := core.Train(gen.ReferenceImages(), core.TrainConfig{Seed: cfg.TrainSeed})
+	if err != nil {
+		log.Error("train", "err", err)
+		os.Exit(1)
+	}
+
+	hops := make(map[wire.Step][]string)
+	for name, addrs := range cfg.Routes {
+		step, err := parseStep(name)
+		if err != nil {
+			log.Error("route", "err", err)
+			os.Exit(2)
+		}
+		hops[step] = addrs
+	}
+	router := agent.NewStaticRouter(hops)
+
+	stateless := mode == core.ModeScatterPP
+	var workers []*agent.Worker
+	for _, svc := range cfg.Services {
+		step, err := parseStep(svc.Step)
+		if err != nil {
+			log.Error("service", "err", err)
+			os.Exit(2)
+		}
+		var proc core.Processor
+		switch step {
+		case wire.StepPrimary:
+			proc = core.NewPrimary(cfg.AnalysisWidth, cfg.AnalysisHeight)
+		case wire.StepSIFT:
+			proc = core.NewSIFT(150, stateless)
+		case wire.StepEncoding:
+			proc = core.NewEncoding(model.PCA, model.Encoder)
+		case wire.StepLSH:
+			proc = core.NewLSHService(model.Index, 3)
+		case wire.StepMatching:
+			var fetch core.StateFetcher
+			if !stateless {
+				if svc.SiftRPC == "" {
+					log.Error("stateful matching requires sift_rpc", "service", svc.Step)
+					os.Exit(2)
+				}
+				fetch = agent.RPCStateFetcher(svc.SiftRPC, 2*time.Second)
+			}
+			proc = core.NewMatching(model.Objects, fetch)
+		}
+		w, err := agent.StartWorker(agent.WorkerConfig{
+			Step:           step,
+			Mode:           mode,
+			Processor:      proc,
+			ListenAddr:     svc.Listen,
+			Router:         router,
+			StateRPCListen: svc.StateRPC,
+			Network:        cfg.Network,
+			Log:            log,
+		})
+		if err != nil {
+			log.Error("start worker", "service", svc.Step, "err", err)
+			os.Exit(1)
+		}
+		workers = append(workers, w)
+		log.Info("service up", "service", svc.Step, "addr", w.Addr(), "rpc", w.RPCAddr(), "mode", mode.String())
+	}
+	if len(workers) == 0 {
+		log.Error("no services configured")
+		os.Exit(2)
+	}
+
+	// Optional control-plane integration: register and heartbeat host
+	// telemetry (hardware-level only — exactly the orchestrator view the
+	// paper critiques as insufficient for AR QoS).
+	if cfg.Orchestrator != "" {
+		if cfg.Node == nil {
+			hostname, _ := os.Hostname()
+			cfg.Node = &orchestrator.NodeInfo{
+				Name:     hostname,
+				Cluster:  "edge",
+				CPUCores: runtime.NumCPU(),
+				MemBytes: 8 << 30,
+			}
+		}
+		ctl := orchestrator.NewClient(cfg.Orchestrator, 5*time.Second)
+		ctx, cancelHB := context.WithCancel(context.Background())
+		defer cancelHB()
+		err := ctl.StartHeartbeats(ctx, *cfg.Node, 2*time.Second, func() orchestrator.NodeStatus {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return orchestrator.NodeStatus{
+				MemUsed:       int64(ms.Alloc),
+				LastHeartbeat: time.Now(),
+			}
+		}, func(err error) {
+			log.Warn("heartbeat", "err", err)
+		})
+		if err != nil {
+			log.Error("register with orchestrator", "err", err)
+			os.Exit(1)
+		}
+		log.Info("registered with orchestrator", "url", cfg.Orchestrator, "node", cfg.Node.Name)
+	}
+
+	// Periodic stats, the node-local view of the sidecar analytics.
+	go func() {
+		ticker := time.NewTicker(10 * time.Second)
+		defer ticker.Stop()
+		for range ticker.C {
+			for i, w := range workers {
+				st := w.Stats()
+				log.Info("stats", "service", cfg.Services[i].Step,
+					"received", st.Received, "processed", st.Processed,
+					"drop_busy", st.DroppedBusy, "drop_queue", st.DroppedQueue,
+					"drop_threshold", st.DroppedThreshold, "errors", st.Errors)
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Info("shutting down")
+	for _, w := range workers {
+		w.Close()
+	}
+}

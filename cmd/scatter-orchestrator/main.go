@@ -1,0 +1,61 @@
+// Command scatter-orchestrator runs the Oakestra-style root orchestrator
+// with its HTTP control plane: node registration, SLA deployment with
+// hardware constraints, heartbeat monitoring, and automatic failure
+// re-deployment.
+//
+// Usage:
+//
+//	scatter-orchestrator -listen :8600 -heartbeat-timeout 5s
+//
+// Node agents register via POST /api/v1/nodes and heartbeat via
+// POST /api/v1/nodes/{name}/heartbeat; applications deploy by POSTing an
+// SLA document to /api/v1/apps.
+package main
+
+import (
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/orchestrator"
+)
+
+func main() {
+	listen := flag.String("listen", ":8600", "control-plane listen address")
+	hbTimeout := flag.Duration("heartbeat-timeout", 5*time.Second,
+		"mark nodes dead after this silence and re-deploy their services")
+	detectEvery := flag.Duration("detect-every", 2*time.Second, "failure-detection interval")
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	root := orchestrator.NewRoot(
+		orchestrator.WithHeartbeatTimeout(*hbTimeout),
+		orchestrator.WithHooks(orchestrator.Hooks{
+			OnSchedule: func(in orchestrator.Instance) {
+				log.Info("scheduled", "instance", in.Key(), "node", in.Node)
+			},
+			OnRemove: func(in orchestrator.Instance) {
+				log.Info("removed", "instance", in.Key(), "node", in.Node)
+			},
+		}),
+	)
+	api := orchestrator.NewAPIServer(root)
+
+	go func() {
+		ticker := time.NewTicker(*detectEvery)
+		defer ticker.Stop()
+		for now := range ticker.C {
+			for _, inst := range root.DetectFailures(now) {
+				log.Warn("migrated after node failure", "instance", inst.Key(), "node", inst.Node)
+			}
+		}
+	}()
+
+	log.Info("root orchestrator listening", "addr", *listen)
+	if err := http.ListenAndServe(*listen, api.Handler()); err != nil {
+		log.Error("serve", "err", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+// Command scatter-trace renders the deterministic synthetic workplace
+// clip to PNG files: sampled video frames plus the reference (training)
+// images, so the workload driving every experiment can be inspected.
+//
+// Usage:
+//
+//	scatter-trace -out /tmp/clip -frames 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/edge-mar/scatter/internal/trace"
+)
+
+func main() {
+	out := flag.String("out", "trace-out", "output directory")
+	frames := flag.Int("frames", 5, "number of evenly spaced video frames to render")
+	width := flag.Int("w", 640, "frame width")
+	height := flag.Int("h", 360, "frame height")
+	seed := flag.Int64("seed", 7, "clip seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "scatter-trace: %v\n", err)
+		os.Exit(1)
+	}
+	gen := trace.NewGenerator(trace.Config{W: *width, H: *height, Seed: *seed})
+
+	for _, ref := range gen.ReferenceImages() {
+		path := filepath.Join(*out, fmt.Sprintf("ref-%s.png", ref.Name))
+		if err := trace.WriteGrayPNG(ref.Img, path); err != nil {
+			fmt.Fprintf(os.Stderr, "scatter-trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+	if *frames > 0 {
+		step := gen.NumFrames() / *frames
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < gen.NumFrames(); i += step {
+			path := filepath.Join(*out, fmt.Sprintf("frame-%03d.png", i))
+			if err := trace.WritePNG(gen.Frame(i), path); err != nil {
+				fmt.Fprintf(os.Stderr, "scatter-trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+			gt := gen.GroundTruth(i)
+			for _, p := range gt {
+				if p.Visible {
+					fmt.Printf("  %-9s at offset (%.0f, %.0f) scale %.2f\n",
+						trace.ObjectName(p.ObjectID), p.OffX, p.OffY, p.Scale)
+				}
+			}
+		}
+	}
+}

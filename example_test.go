@@ -1,0 +1,75 @@
+package scatter_test
+
+import (
+	"fmt"
+	"time"
+
+	scatter "github.com/edge-mar/scatter"
+)
+
+// ExampleTrain shows the minimal recognition workflow: derive a model
+// from the synthetic reference images and run one frame through the five
+// services in-process.
+func ExampleTrain() {
+	video := scatter.NewVideoSource(scatter.VideoConfig{
+		W: 320, H: 180, FPS: 10, Seconds: 1, Seed: 7,
+	})
+	model, err := scatter.Train(video.ReferenceImages(), scatter.TrainConfig{})
+	if err != nil {
+		panic(err)
+	}
+	procs := scatter.NewProcessors(model, true, 320, 180)
+	fr := &scatter.Frame{
+		ClientID: 1, FrameNo: 1,
+		Step:    scatter.StepPrimary,
+		Payload: scatter.FramePayload(video, 0),
+	}
+	for step := range procs {
+		if err := procs[step].Process(fr); err != nil {
+			panic(err)
+		}
+	}
+	detections, err := scatter.DecodeResult(fr.Payload)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("recognized objects:", len(detections) > 0)
+	// Output: recognized objects: true
+}
+
+// ExampleRunExperiment reproduces one point of the paper's evaluation:
+// scAtteR on E1 with one client holds ≈30 FPS.
+func ExampleRunExperiment() {
+	pt := scatter.RunExperiment(scatter.RunSpec{
+		Name:      "demo",
+		Mode:      scatter.ModeScatter,
+		Placement: scatter.PlacementC1,
+		Clients:   1,
+		Duration:  20 * time.Second,
+		Seed:      11,
+	})
+	fmt.Println("single-client FPS above 25:", pt.Summary.FPSPerClient > 25)
+	// Output: single-client FPS above 25: true
+}
+
+// ExampleNewOrchestrator schedules the scAtteR SLA onto a registered
+// GPU node under hardware constraints.
+func ExampleNewOrchestrator() {
+	orch := scatter.NewOrchestrator()
+	_ = orch.RegisterNode(scatter.NodeInfo{
+		Name: "edge-1", Cluster: "edge", CPUCores: 16,
+		GPUs: 2, GPUArch: "ampere", MemBytes: 64 << 30,
+	}, time.Now())
+	dep, err := orch.Deploy(scatter.SLA{
+		AppName: "scatter",
+		Microservices: []scatter.ServiceSLA{{
+			Name: "sift", Image: "scatter/sift", Replicas: 1,
+			Requirements: scatter.Requirements{NeedsGPU: true},
+		}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(dep.Instances[0].Service, "on", dep.Instances[0].Node)
+	// Output: sift on edge-1
+}

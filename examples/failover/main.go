@@ -1,0 +1,85 @@
+// Failover: demonstrate the orchestrator's automatic service recovery —
+// the Oakestra behaviour the paper relies on ("automatically re-deploying
+// services upon failures"). E1 and E2 register and heartbeat; the scAtteR
+// SLA deploys across them with priority-ordered machine preferences; then E1
+// goes silent and the failure detector migrates its services to E2,
+// honouring the GPU and memory constraints.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	scatter "github.com/edge-mar/scatter"
+)
+
+func main() {
+	orch := scatter.NewOrchestrator()
+	start := time.Now()
+	nodes := []scatter.NodeInfo{
+		{Name: "E1", Cluster: "edge", CPUCores: 16, GPUs: 2, GPUArch: "geforce-rtx", MemBytes: 128 << 30},
+		{Name: "E2", Cluster: "edge", CPUCores: 64, GPUs: 2, GPUArch: "ampere", MemBytes: 264 << 30},
+	}
+	for _, n := range nodes {
+		if err := orch.RegisterNode(n, start); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	gpus := []string{"geforce-rtx", "ampere"}
+	sla := scatter.SLA{AppName: "scatter", Microservices: []scatter.ServiceSLA{
+		{Name: "primary", Image: "scatter/primary", Replicas: 1,
+			Requirements: scatter.Requirements{MemBytes: 400 << 20, Machines: []string{"E1", "E2"}}},
+		{Name: "sift", Image: "scatter/sift", Replicas: 1,
+			Requirements: scatter.Requirements{MemBytes: 1200 << 20, NeedsGPU: true, GPUArchIn: gpus, Machines: []string{"E1", "E2"}}},
+		{Name: "encoding", Image: "scatter/encoding", Replicas: 1,
+			Requirements: scatter.Requirements{MemBytes: 800 << 20, NeedsGPU: true, GPUArchIn: gpus, Machines: []string{"E2", "E1"}}},
+		{Name: "lsh", Image: "scatter/lsh", Replicas: 1,
+			Requirements: scatter.Requirements{MemBytes: 600 << 20, NeedsGPU: true, GPUArchIn: gpus, Machines: []string{"E2", "E1"}}},
+		{Name: "matching", Image: "scatter/matching", Replicas: 1,
+			Requirements: scatter.Requirements{MemBytes: 1000 << 20, NeedsGPU: true, GPUArchIn: gpus, Machines: []string{"E2", "E1"}}},
+	}}
+	dep, err := orch.Deploy(sla)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("initial placement (C12):")
+	for _, in := range dep.Instances {
+		fmt.Printf("  %-9s -> %s\n", in.Service, in.Node)
+	}
+
+	// Both nodes heartbeat for a while...
+	for i := 1; i <= 3; i++ {
+		at := start.Add(time.Duration(i) * time.Second)
+		for _, n := range nodes {
+			if err := orch.Heartbeat(n.Name, scatter.NodeStatusAt(at)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Println("\nE1 stops heartbeating (power loss)...")
+	// E2 keeps reporting; E1 goes silent past the 3s timeout.
+	for i := 4; i <= 8; i++ {
+		at := start.Add(time.Duration(i) * time.Second)
+		if err := orch.Heartbeat("E2", scatter.NodeStatusAt(at)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	migrated := orch.DetectFailures(start.Add(8 * time.Second))
+	fmt.Printf("failure detector migrated %d instance(s):\n", len(migrated))
+	for _, in := range migrated {
+		fmt.Printf("  %-9s -> %s\n", in.Service, in.Node)
+	}
+
+	dep2, err := orch.Deployment("scatter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfinal placement:")
+	for _, in := range dep2.Instances {
+		fmt.Printf("  %-9s -> %s (%s)\n", in.Service, in.Node, in.State)
+	}
+}

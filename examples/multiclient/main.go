@@ -1,0 +1,47 @@
+// Multiclient: reproduce the paper's central finding on the simulated
+// edge testbed — scAtteR's stateful pipeline collapses as concurrent
+// clients grow (the sift↔matching dependency loop amplifies
+// backpressure), while scAtteR++ (stateless sift + sidecar queues)
+// degrades gracefully and sustains multi-client loads.
+//
+//	go run ./examples/multiclient
+package main
+
+import (
+	"fmt"
+	"time"
+
+	scatter "github.com/edge-mar/scatter"
+)
+
+func main() {
+	duration := 30 * time.Second
+	fmt.Printf("C12 deployment [E1,E1,E2,E2,E2], %v virtual time per point\n\n", duration)
+	fmt.Printf("%-8s %-10s %-11s %-9s %-9s %s\n",
+		"clients", "system", "fps/client", "e2e(ms)", "success", "sift mem (GB)")
+
+	for clients := 1; clients <= 4; clients++ {
+		for _, mode := range []scatter.Mode{scatter.ModeScatter, scatter.ModeScatterPP} {
+			pt := scatter.RunExperiment(scatter.RunSpec{
+				Name:      "C12",
+				Mode:      mode,
+				Placement: scatter.PlacementC12,
+				Clients:   clients,
+				Duration:  duration,
+				Seed:      int64(100 + clients),
+			})
+			s := pt.Summary
+			fmt.Printf("%-8d %-10s %-11.1f %-9.1f %-9s %.2f\n",
+				clients, mode.String(), s.FPSPerClient,
+				float64(s.E2EMean)/float64(time.Millisecond),
+				fmt.Sprintf("%.0f%%", s.SuccessRate*100),
+				float64(pt.Services["sift"].MemBytes)/float64(1<<30))
+		}
+	}
+
+	fmt.Println("\nTakeaways (paper §4-§5):")
+	fmt.Println("  - scAtteR holds ~30 FPS at 1 client but collapses under concurrency;")
+	fmt.Println("    sift's in-memory state grows while utilization stalls.")
+	fmt.Println("  - scAtteR++ trades bounded latency (sidecar threshold) for ~2.5x+")
+	fmt.Println("    multi-client frame rate with flat memory.")
+}

@@ -1,0 +1,127 @@
+// Realnet: run the complete real system in one process — the Oakestra-
+// style orchestrator schedules the five-service SLA onto registered
+// nodes, the placed services start as UDP workers executing the actual
+// vision algorithms (scAtteR++ wiring with sidecar queues), and a client
+// streams the synthetic clip and prints live results.
+//
+//	go run ./examples/realnet
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	scatter "github.com/edge-mar/scatter"
+)
+
+func main() {
+	// 1. Control plane: register two "machines" with heterogeneous GPUs.
+	orch := scatter.NewOrchestrator()
+	nodes := []scatter.NodeInfo{
+		{Name: "E1", Cluster: "edge", CPUCores: 16, GPUs: 2, GPUArch: "geforce-rtx", MemBytes: 128 << 30},
+		{Name: "E2", Cluster: "edge", CPUCores: 64, GPUs: 2, GPUArch: "ampere", MemBytes: 264 << 30},
+	}
+	for _, n := range nodes {
+		if err := orch.RegisterNode(n, time.Now()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 2. Deploy the scAtteR SLA: GPU services constrained to GPU nodes,
+	//    primary+sift pinned to E1, the tail to E2 (the C12 layout).
+	services := []scatter.ServiceSLA{
+		{Name: "primary", Image: "scatter/primary", Replicas: 1,
+			Requirements: scatter.Requirements{MemBytes: 400 << 20, Machines: []string{"E1"}}},
+		{Name: "sift", Image: "scatter/sift", Replicas: 1,
+			Requirements: scatter.Requirements{MemBytes: 1200 << 20, NeedsGPU: true, Machines: []string{"E1"}}},
+		{Name: "encoding", Image: "scatter/encoding", Replicas: 1,
+			Requirements: scatter.Requirements{MemBytes: 800 << 20, NeedsGPU: true, Machines: []string{"E2"}}},
+		{Name: "lsh", Image: "scatter/lsh", Replicas: 1,
+			Requirements: scatter.Requirements{MemBytes: 600 << 20, NeedsGPU: true, Machines: []string{"E2"}}},
+		{Name: "matching", Image: "scatter/matching", Replicas: 1,
+			Requirements: scatter.Requirements{MemBytes: 1000 << 20, NeedsGPU: true, Machines: []string{"E2"}}},
+	}
+	deployment, err := orch.Deploy(scatter.SLA{AppName: "scatter", Microservices: services})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("orchestrator placement:")
+	for _, inst := range deployment.Instances {
+		fmt.Printf("  %-9s -> %s\n", inst.Service, inst.Node)
+	}
+
+	// 3. Data plane: start a real UDP worker for each placed instance.
+	video := scatter.NewVideoSource(scatter.VideoConfig{W: 320, H: 180, FPS: 10, Seconds: 2, Seed: 7})
+	model, err := scatter.Train(video.ReferenceImages(), scatter.TrainConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	procs := scatter.NewProcessors(model, true, 320, 180) // scAtteR++ wiring
+
+	table := map[scatter.Step][]string{}
+	router := scatter.NewStaticRouter(nil)
+	late := lateRouter{inner: func(step scatter.Step) (string, bool) { return router.Next(step) }}
+	var workers []*scatter.Worker
+	order := []scatter.Step{scatter.StepPrimary, scatter.StepSIFT, scatter.StepEncoding, scatter.StepLSH, scatter.StepMatching}
+	for _, step := range order {
+		w, err := scatter.StartWorker(scatter.WorkerConfig{
+			Step: step, Mode: scatter.ModeScatterPP, Processor: procs[step],
+			ListenAddr: "127.0.0.1:0", Router: late,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer w.Close()
+		workers = append(workers, w)
+		table[step] = []string{w.Addr()}
+		fmt.Printf("  %-9s up at %s\n", step, w.Addr())
+	}
+	router.SetRoutes(table)
+
+	// 4. Stream the clip and watch results come back.
+	client, err := scatter.StartClient(scatter.ClientConfig{
+		ID: 1, FPS: 10, Ingress: table[scatter.StepPrimary][0],
+		NextFrame: func(i int) []byte { return scatter.FramePayload(video, i) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	fmt.Println("\nstreaming for 5 seconds...")
+	deadline := time.After(5 * time.Second)
+	received, detections := 0, 0
+	var e2eSum time.Duration
+loop:
+	for {
+		select {
+		case res := <-client.Results():
+			received++
+			detections += len(res.Detections)
+			e2eSum += res.E2E
+		case <-deadline:
+			break loop
+		}
+	}
+	fmt.Printf("\nsent=%d received=%d (%.0f%%)\n",
+		client.Sent(), received, 100*float64(received)/float64(client.Sent()))
+	if received > 0 {
+		fmt.Printf("mean e2e=%v, %.1f detections/frame\n",
+			(e2eSum / time.Duration(received)).Round(time.Millisecond),
+			float64(detections)/float64(received))
+	}
+	fmt.Println("\nper-service sidecar analytics:")
+	for i, step := range order {
+		st := workers[i].Stats()
+		fmt.Printf("  %-9s received=%-4d processed=%-4d dropped(queue/threshold)=%d/%d\n",
+			step, st.Received, st.Processed, st.DroppedQueue, st.DroppedThreshold)
+	}
+}
+
+// lateRouter defers routing lookups until the table is complete.
+type lateRouter struct {
+	inner func(step scatter.Step) (string, bool)
+}
+
+func (r lateRouter) Next(step scatter.Step) (string, bool) { return r.inner(step) }

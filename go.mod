@@ -1,0 +1,3 @@
+module github.com/edge-mar/scatter
+
+go 1.24

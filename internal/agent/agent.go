@@ -1,0 +1,550 @@
+// Package agent implements the real-mode scAtteR runtime: service workers
+// that receive frames over UDP, apply the pipeline semantics (drop-if-busy
+// for scAtteR, sidecar queue with latency threshold for scAtteR++), invoke
+// the real vision processors, and forward results to the next hop or back
+// to the client. It is the process-level equivalent of the containerized
+// microservices in the paper's testbed; isolation is goroutine-level
+// rather than container-level (see DESIGN.md substitutions).
+package agent
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/rpc"
+	"github.com/edge-mar/scatter/internal/transport"
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+// Router resolves the address of the next pipeline hop. Implementations
+// must be safe for concurrent use.
+type Router interface {
+	// Next returns the UDP address serving the given step, rotating
+	// across replicas (semantic addressing).
+	Next(step wire.Step) (string, bool)
+}
+
+// StaticRouter is a fixed routing table with round-robin replica
+// selection.
+type StaticRouter struct {
+	mu    sync.Mutex
+	hops  map[wire.Step][]string
+	index map[wire.Step]int
+}
+
+// NewStaticRouter builds a router from a step→replica-addresses table.
+func NewStaticRouter(hops map[wire.Step][]string) *StaticRouter {
+	cp := make(map[wire.Step][]string, len(hops))
+	for k, v := range hops {
+		cp[k] = append([]string(nil), v...)
+	}
+	return &StaticRouter{hops: cp, index: make(map[wire.Step]int)}
+}
+
+// SetRoutes atomically replaces the routing table — used when worker
+// addresses become known only after the workers bind (ephemeral ports),
+// and by control planes pushing updated placements.
+func (r *StaticRouter) SetRoutes(hops map[wire.Step][]string) {
+	cp := make(map[wire.Step][]string, len(hops))
+	for k, v := range hops {
+		cp[k] = append([]string(nil), v...)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hops = cp
+	r.index = make(map[wire.Step]int)
+}
+
+// Next implements Router.
+func (r *StaticRouter) Next(step wire.Step) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	addrs := r.hops[step]
+	if len(addrs) == 0 {
+		return "", false
+	}
+	i := r.index[step] % len(addrs)
+	r.index[step]++
+	return addrs[i], true
+}
+
+// WorkerStats are cumulative counters exposed by a worker — the sidecar
+// analytics of scAtteR++ and the hardware-independent QoS signals the
+// paper argues orchestrators should consume.
+type WorkerStats struct {
+	Received         uint64
+	Processed        uint64
+	DroppedBusy      uint64 // scAtteR busy-drops
+	DroppedQueue     uint64 // sidecar queue overflow
+	DroppedThreshold uint64 // sidecar latency-threshold drops
+	Errors           uint64
+	QueueMicros      uint64 // total queueing time of processed frames
+	ProcMicros       uint64 // total processing time
+}
+
+// WorkerConfig configures one service worker.
+type WorkerConfig struct {
+	Step      wire.Step
+	Mode      core.Mode
+	Processor core.Processor
+	// ListenAddr is the worker's UDP ingress ("host:port", port 0 for
+	// ephemeral).
+	ListenAddr string
+	Router     Router
+	// Threshold is the scAtteR++ sidecar queue-wait budget (default
+	// 100 ms).
+	Threshold time.Duration
+	// QueueCap bounds the sidecar queue (default 64).
+	QueueCap int
+	// StateRPCListen, for a stateful sift worker, starts a state-fetch
+	// RPC server on this address ("host:port", port 0 ok).
+	StateRPCListen string
+	// Network selects the inter-service transport: "udp" (default, the
+	// paper's baseline) or "tcp" (the reliable alternative of A.1.2).
+	// All workers of one deployment must agree.
+	Network string
+	// Log defaults to slog.Default().
+	Log *slog.Logger
+}
+
+// listenEndpoint opens the configured transport.
+func listenEndpoint(network, addr string, handler transport.Handler) (transport.Endpoint, error) {
+	switch network {
+	case "", "udp":
+		return transport.Listen(addr, handler)
+	case "tcp":
+		return transport.ListenTCP(addr, handler)
+	default:
+		return nil, fmt.Errorf("agent: unknown network %q", network)
+	}
+}
+
+// endpointBox wraps the transport interface for atomic publication.
+type endpointBox struct {
+	ep transport.Endpoint
+}
+
+// Worker is one running service instance.
+type Worker struct {
+	cfg WorkerConfig
+	// conn is published atomically: the transport read loop can deliver
+	// frames before StartWorker's caller-side assignment completes.
+	conn    atomic.Pointer[endpointBox]
+	rpc     *rpc.Server
+	rpcAddr string
+	queue   chan queuedItem
+	busy    atomic.Bool
+	wg      sync.WaitGroup
+	done    chan struct{}
+
+	received, processed           atomic.Uint64
+	droppedBusy, droppedQueue     atomic.Uint64
+	droppedThreshold, errorsCount atomic.Uint64
+	queueMicros, procMicros       atomic.Uint64
+}
+
+type queuedItem struct {
+	fr *wire.Frame
+	at time.Time
+}
+
+// StartWorker binds the worker's sockets and begins serving.
+func StartWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Processor == nil {
+		return nil, errors.New("agent: nil processor")
+	}
+	if cfg.Processor.Step() != cfg.Step {
+		return nil, fmt.Errorf("agent: processor serves %s, worker configured for %s",
+			cfg.Processor.Step(), cfg.Step)
+	}
+	if cfg.Router == nil {
+		return nil, errors.New("agent: nil router")
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 100 * time.Millisecond
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.Default()
+	}
+	w := &Worker{cfg: cfg, done: make(chan struct{})}
+	// Everything the receive path touches must exist before the UDP read
+	// loop starts delivering messages.
+	if cfg.Mode == core.ModeScatterPP {
+		w.queue = make(chan queuedItem, cfg.QueueCap)
+	}
+	if cfg.StateRPCListen != "" {
+		s, ok := cfg.Processor.(*core.SIFT)
+		if !ok {
+			return nil, errors.New("agent: StateRPCListen on a non-sift worker")
+		}
+		w.rpc = rpc.NewServer(stateFetchHandler(s))
+		addr, err := w.rpc.Listen(cfg.StateRPCListen)
+		if err != nil {
+			return nil, err
+		}
+		w.rpcAddr = addr
+	}
+	conn, err := listenEndpoint(cfg.Network, cfg.ListenAddr, w.onMessage)
+	if err != nil {
+		if w.rpc != nil {
+			w.rpc.Close()
+		}
+		return nil, err
+	}
+	w.conn.Store(&endpointBox{ep: conn})
+	if w.queue != nil {
+		w.wg.Add(1)
+		go w.sidecarLoop()
+	}
+	return w, nil
+}
+
+// Addr returns the worker's ingress address.
+func (w *Worker) Addr() string { return w.conn.Load().ep.LocalAddr() }
+
+// RPCAddr returns the bound state-fetch RPC address, or "" when this
+// worker serves no state.
+func (w *Worker) RPCAddr() string { return w.rpcAddr }
+
+// Close stops the worker.
+func (w *Worker) Close() error {
+	select {
+	case <-w.done:
+		return nil
+	default:
+	}
+	close(w.done)
+	err := w.conn.Load().ep.Close()
+	if w.rpc != nil {
+		w.rpc.Close()
+	}
+	w.wg.Wait()
+	return err
+}
+
+// Stats returns a snapshot of the worker's counters.
+func (w *Worker) Stats() WorkerStats {
+	return WorkerStats{
+		Received:         w.received.Load(),
+		Processed:        w.processed.Load(),
+		DroppedBusy:      w.droppedBusy.Load(),
+		DroppedQueue:     w.droppedQueue.Load(),
+		DroppedThreshold: w.droppedThreshold.Load(),
+		Errors:           w.errorsCount.Load(),
+		QueueMicros:      w.queueMicros.Load(),
+		ProcMicros:       w.procMicros.Load(),
+	}
+}
+
+func (w *Worker) onMessage(data []byte, from net.Addr) {
+	var fr wire.Frame
+	if err := fr.UnmarshalBinary(data); err != nil {
+		w.errorsCount.Add(1)
+		return
+	}
+	w.received.Add(1)
+	switch w.cfg.Mode {
+	case core.ModeScatter:
+		// One frame at a time; outstanding requests at a busy service are
+		// dropped.
+		if !w.busy.CompareAndSwap(false, true) {
+			w.droppedBusy.Add(1)
+			return
+		}
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			defer w.busy.Store(false)
+			w.process(&fr, 0)
+		}()
+	case core.ModeScatterPP:
+		select {
+		case w.queue <- queuedItem{fr: &fr, at: time.Now()}:
+		default:
+			w.droppedQueue.Add(1)
+		}
+	}
+}
+
+func (w *Worker) sidecarLoop() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.done:
+			return
+		case item := <-w.queue:
+			wait := time.Since(item.at)
+			if wait > w.cfg.Threshold {
+				w.droppedThreshold.Add(1)
+				continue
+			}
+			w.process(item.fr, wait)
+		}
+	}
+}
+
+func (w *Worker) process(fr *wire.Frame, queueWait time.Duration) {
+	start := time.Now()
+	if err := w.cfg.Processor.Process(fr); err != nil {
+		w.errorsCount.Add(1)
+		w.cfg.Log.Debug("process failed", "step", w.cfg.Step, "err", err)
+		return
+	}
+	proc := time.Since(start)
+	w.processed.Add(1)
+	w.queueMicros.Add(uint64(queueWait.Microseconds()))
+	w.procMicros.Add(uint64(proc.Microseconds()))
+	fr.AddStage(w.cfg.Step, uint32(queueWait.Microseconds()), uint32(proc.Microseconds()))
+
+	data, err := fr.MarshalBinary()
+	if err != nil {
+		w.errorsCount.Add(1)
+		return
+	}
+	box := w.conn.Load()
+	if box == nil {
+		// A frame raced ahead of StartWorker's publication; extremely
+		// early arrivals are dropped like any other overload.
+		w.errorsCount.Add(1)
+		return
+	}
+	conn := box.ep
+	if fr.Step == wire.StepDone {
+		if !fr.ClientAddr.IsValid() {
+			w.errorsCount.Add(1)
+			return
+		}
+		if err := conn.SendToAddr(fr.ClientAddr.String(), data); err != nil {
+			w.errorsCount.Add(1)
+		}
+		return
+	}
+	next, ok := w.cfg.Router.Next(fr.Step)
+	if !ok {
+		w.errorsCount.Add(1)
+		w.cfg.Log.Warn("no route", "step", fr.Step)
+		return
+	}
+	if err := conn.SendToAddr(next, data); err != nil {
+		w.errorsCount.Add(1)
+	}
+}
+
+// State-fetch RPC wiring (matching -> sift in the stateful pipeline).
+
+// FetchMethod is the RPC method name for sift state fetches.
+const FetchMethod = "sift.fetch"
+
+func stateFetchHandler(s *core.SIFT) rpc.Handler {
+	return func(method string, body []byte) ([]byte, error) {
+		if method != FetchMethod {
+			return nil, fmt.Errorf("agent: unknown method %q", method)
+		}
+		if len(body) != 12 {
+			return nil, errors.New("agent: bad fetch request")
+		}
+		clientID := binary.BigEndian.Uint32(body)
+		frameNo := binary.BigEndian.Uint64(body[4:])
+		feats, err := s.Fetch(clientID, frameNo)
+		if err != nil {
+			return nil, err
+		}
+		return (&core.Payload{Features: feats}).Encode(), nil
+	}
+}
+
+// RPCStateFetcher returns a core.StateFetcher that queries a sift
+// worker's state RPC endpoint — matching's half of the dependency loop.
+func RPCStateFetcher(addr string, timeout time.Duration) core.StateFetcher {
+	client := rpc.Dial(addr, timeout)
+	return func(clientID uint32, frameNo uint64) (*core.Features, error) {
+		req := make([]byte, 12)
+		binary.BigEndian.PutUint32(req, clientID)
+		binary.BigEndian.PutUint64(req[4:], frameNo)
+		resp, err := client.Call(context.Background(), FetchMethod, req)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.DecodePayload(resp)
+		if err != nil {
+			return nil, err
+		}
+		if p.Features == nil {
+			return nil, errors.New("agent: fetch response without features")
+		}
+		return p.Features, nil
+	}
+}
+
+// ClientConfig configures a real-mode client that replays a frame source
+// into the pipeline ingress and collects results.
+type ClientConfig struct {
+	ID      uint32
+	FPS     int // default 30
+	Ingress string
+	// Network selects the transport ("udp" default, "tcp"); must match
+	// the deployment's workers.
+	Network string
+	// NextFrame returns the payload for frame i (already encoded
+	// grayscale image payload bytes).
+	NextFrame func(i int) []byte
+	// Log defaults to slog.Default().
+	Log *slog.Logger
+}
+
+// ClientResult is one completed frame observed by the client.
+type ClientResult struct {
+	FrameNo    uint64
+	E2E        time.Duration
+	Detections []core.Detection
+	// Stages carries the per-service sidecar analytics the frame
+	// accumulated (queueing and processing time per stage).
+	Stages []wire.StageRecord
+}
+
+// Client streams frames and receives processed results.
+type Client struct {
+	cfg     ClientConfig
+	conn    transport.Endpoint
+	mu      sync.Mutex
+	sentAt  map[uint64]time.Time
+	results chan ClientResult
+	sent    atomic.Uint64
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// StartClient begins streaming. Results arrive on Results().
+func StartClient(cfg ClientConfig) (*Client, error) {
+	if cfg.NextFrame == nil {
+		return nil, errors.New("agent: nil frame source")
+	}
+	if cfg.FPS <= 0 {
+		cfg.FPS = 30
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.Default()
+	}
+	c := &Client{
+		cfg:     cfg,
+		sentAt:  make(map[uint64]time.Time),
+		results: make(chan ClientResult, 256),
+		done:    make(chan struct{}),
+	}
+	conn, err := listenEndpoint(cfg.Network, "127.0.0.1:0", c.onResult)
+	if err != nil {
+		return nil, err
+	}
+	c.conn = conn
+	c.wg.Add(1)
+	go c.streamLoop()
+	return c, nil
+}
+
+// Results delivers completed frames.
+func (c *Client) Results() <-chan ClientResult { return c.results }
+
+// Sent returns the number of frames emitted so far.
+func (c *Client) Sent() uint64 { return c.sent.Load() }
+
+// Close stops streaming.
+func (c *Client) Close() error {
+	select {
+	case <-c.done:
+		return nil
+	default:
+	}
+	close(c.done)
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Client) streamLoop() {
+	defer c.wg.Done()
+	interval := time.Second / time.Duration(c.cfg.FPS)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	i := 0
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+			payload := c.cfg.NextFrame(i)
+			if payload == nil {
+				return
+			}
+			frameNo := uint64(i + 1)
+			addrPort, err := netip.ParseAddrPort(c.conn.LocalAddr())
+			if err != nil {
+				c.cfg.Log.Warn("client addr parse", "err", err)
+				return
+			}
+			fr := &wire.Frame{
+				ClientID:      c.cfg.ID,
+				FrameNo:       frameNo,
+				ClientAddr:    addrPort,
+				Step:          wire.StepPrimary,
+				CaptureMicros: uint64(time.Now().UnixMicro()),
+				Payload:       payload,
+			}
+			data, err := fr.MarshalBinary()
+			if err != nil {
+				c.cfg.Log.Warn("marshal frame", "err", err)
+				continue
+			}
+			c.mu.Lock()
+			c.sentAt[frameNo] = time.Now()
+			c.mu.Unlock()
+			c.sent.Add(1)
+			if err := c.conn.SendToAddr(c.cfg.Ingress, data); err != nil {
+				if errors.Is(err, transport.ErrClosed) {
+					return // racing with Close
+				}
+				c.cfg.Log.Warn("send frame", "err", err)
+			}
+			i++
+		}
+	}
+}
+
+func (c *Client) onResult(data []byte, from net.Addr) {
+	var fr wire.Frame
+	if err := fr.UnmarshalBinary(data); err != nil {
+		return
+	}
+	c.mu.Lock()
+	sent, ok := c.sentAt[fr.FrameNo]
+	delete(c.sentAt, fr.FrameNo)
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	p, err := core.DecodePayload(fr.Payload)
+	if err != nil {
+		return
+	}
+	res := ClientResult{
+		FrameNo:    fr.FrameNo,
+		E2E:        time.Since(sent),
+		Detections: p.Detections,
+		Stages:     append([]wire.StageRecord(nil), fr.Stages...),
+	}
+	select {
+	case c.results <- res:
+	default: // consumer lagging; drop oldest behaviour not needed
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package agent
+
+const raceEnabled = false

@@ -1,0 +1,264 @@
+// Package appaware implements the paper's §6 future-work proposal: an
+// application-aware orchestrator that consumes internal application
+// metrics (exported through predefined sidecar hooks) alongside hardware
+// telemetry, and scales services out when the application — not the
+// hardware — shows distress.
+//
+// Two policies make the paper's insight (I)/(IV) measurable:
+//
+//   - HardwarePolicy mimics today's orchestrators (Kubernetes-style):
+//     it only sees CPU/GPU utilization and scales the busiest service on
+//     an overloaded machine. During scAtteR's collapse, utilization stays
+//     low or even declines, so this policy never reacts.
+//   - QoSPolicy consumes the sidecar analytics (ingress drop ratios) and
+//     scales the first distressed service in pipeline order.
+//
+// The Autoscaler evaluates a policy on a fixed control period over a
+// simulated deployment and applies its decisions via dynamic replica
+// addition (core.Pipeline.AddReplica).
+package appaware
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/metrics"
+	"github.com/edge-mar/scatter/internal/sim"
+	"github.com/edge-mar/scatter/internal/testbed"
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+// ServiceSignal is one service's application-level telemetry over the
+// last control period — what the extended sidecar exposes to the
+// orchestrator.
+type ServiceSignal struct {
+	Step      wire.Step
+	Arrived   uint64 // ingress requests in the window
+	Dropped   uint64 // ingress drops in the window
+	DropRatio float64
+	Replicas  int
+}
+
+// Signal is the telemetry snapshot a policy decides on.
+type Signal struct {
+	Now      sim.Time
+	Services [wire.NumSteps]ServiceSignal
+	Machines []metrics.MachineUsage // cumulative hardware telemetry
+}
+
+// Decision asks for one more replica of a step.
+type Decision struct {
+	Step   wire.Step
+	Reason string
+}
+
+// Policy maps a telemetry snapshot to scaling decisions. Implementations
+// must be deterministic.
+type Policy interface {
+	Name() string
+	Decide(sig Signal) []Decision
+}
+
+// HardwarePolicy scales on hardware utilization only — the information
+// today's orchestration frameworks act on. When any machine exceeds the
+// thresholds, it scales the service with the highest ingress load.
+type HardwarePolicy struct {
+	// CPUThreshold and GPUThreshold are utilization fractions in (0, 1].
+	// Zero values default to 0.8.
+	CPUThreshold float64
+	GPUThreshold float64
+}
+
+// Name implements Policy.
+func (HardwarePolicy) Name() string { return "hardware" }
+
+// Decide implements Policy.
+func (p HardwarePolicy) Decide(sig Signal) []Decision {
+	cpuT := p.CPUThreshold
+	if cpuT <= 0 {
+		cpuT = 0.8
+	}
+	gpuT := p.GPUThreshold
+	if gpuT <= 0 {
+		gpuT = 0.8
+	}
+	overloaded := false
+	for _, m := range sig.Machines {
+		if m.CPUUtil > cpuT || m.GPUUtil > gpuT {
+			overloaded = true
+			break
+		}
+	}
+	if !overloaded {
+		return nil
+	}
+	// Scale the busiest service by ingress volume.
+	best := -1
+	var bestArrived uint64
+	for i, svc := range sig.Services {
+		if svc.Arrived > bestArrived {
+			bestArrived = svc.Arrived
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return []Decision{{
+		Step:   wire.Step(best),
+		Reason: fmt.Sprintf("hardware utilization above threshold; busiest service %s", wire.Step(best)),
+	}}
+}
+
+// QoSPolicy scales on application QoS: any service whose windowed ingress
+// drop ratio exceeds the threshold gets a replica (earliest pipeline
+// stage first, since upstream relief propagates downstream).
+type QoSPolicy struct {
+	// DropThreshold is the windowed drop-ratio trigger (default 0.1).
+	DropThreshold float64
+	// MinSamples avoids reacting to nearly idle services (default 30).
+	MinSamples uint64
+}
+
+// Name implements Policy.
+func (QoSPolicy) Name() string { return "qos" }
+
+// Decide implements Policy.
+func (p QoSPolicy) Decide(sig Signal) []Decision {
+	threshold := p.DropThreshold
+	if threshold <= 0 {
+		threshold = 0.1
+	}
+	minSamples := p.MinSamples
+	if minSamples == 0 {
+		minSamples = 30
+	}
+	for _, svc := range sig.Services {
+		if svc.Arrived < minSamples {
+			continue
+		}
+		if svc.DropRatio > threshold {
+			return []Decision{{
+				Step: svc.Step,
+				Reason: fmt.Sprintf("%s drop ratio %.0f%% over threshold %.0f%%",
+					svc.Step, svc.DropRatio*100, threshold*100),
+			}}
+		}
+	}
+	return nil
+}
+
+// StaticPolicy never scales — the baseline.
+type StaticPolicy struct{}
+
+// Name implements Policy.
+func (StaticPolicy) Name() string { return "static" }
+
+// Decide implements Policy.
+func (StaticPolicy) Decide(Signal) []Decision { return nil }
+
+// ScaleEvent records one applied decision.
+type ScaleEvent struct {
+	At      sim.Time
+	Step    wire.Step
+	Machine string
+	Reason  string
+}
+
+// Config parameterizes an Autoscaler.
+type Config struct {
+	// Period is the control-loop interval (default 5 s).
+	Period time.Duration
+	// Hosts receive new replicas, round-robin. Required.
+	Hosts []*testbed.Machine
+	// MaxReplicas caps replicas per service (default 3).
+	MaxReplicas int
+}
+
+// Autoscaler runs a Policy's control loop against a simulated pipeline.
+type Autoscaler struct {
+	eng    *sim.Engine
+	p      *core.Pipeline
+	col    *metrics.Collector
+	policy Policy
+	cfg    Config
+
+	lastArrived [wire.NumSteps]uint64
+	lastDropped [wire.NumSteps]uint64
+	nextHost    int
+	events      []ScaleEvent
+}
+
+// New wires an autoscaler. It panics on a missing policy or hosts —
+// configuration errors in experiment construction.
+func New(eng *sim.Engine, p *core.Pipeline, col *metrics.Collector, policy Policy, cfg Config) *Autoscaler {
+	if policy == nil {
+		panic("appaware: nil policy")
+	}
+	if len(cfg.Hosts) == 0 {
+		panic("appaware: no scale-out hosts")
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 5 * time.Second
+	}
+	if cfg.MaxReplicas <= 0 {
+		cfg.MaxReplicas = 3
+	}
+	return &Autoscaler{eng: eng, p: p, col: col, policy: policy, cfg: cfg}
+}
+
+// Start schedules the control loop until the deadline.
+func (a *Autoscaler) Start(deadline sim.Time) {
+	var tick func()
+	tick = func() {
+		a.evaluate()
+		if a.eng.Now()+a.cfg.Period <= deadline {
+			a.eng.After(a.cfg.Period, tick)
+		}
+	}
+	a.eng.After(a.cfg.Period, tick)
+}
+
+// Events returns the applied scale-out actions.
+func (a *Autoscaler) Events() []ScaleEvent { return a.events }
+
+func (a *Autoscaler) evaluate() {
+	sig := Signal{Now: a.eng.Now()}
+	for step := 0; step < wire.NumSteps; step++ {
+		name := wire.Step(step).String()
+		arrived, _, dropped := a.col.ServiceCounters(name)
+		dArr := arrived - a.lastArrived[step]
+		dDrop := dropped - a.lastDropped[step]
+		a.lastArrived[step] = arrived
+		a.lastDropped[step] = dropped
+		svc := ServiceSignal{
+			Step:     wire.Step(step),
+			Arrived:  dArr,
+			Dropped:  dDrop,
+			Replicas: len(a.p.Instances(wire.Step(step))),
+		}
+		if dArr > 0 {
+			svc.DropRatio = float64(dDrop) / float64(dArr)
+		}
+		sig.Services[step] = svc
+	}
+	_, sig.Machines = a.p.Usage()
+
+	for _, d := range a.policy.Decide(sig) {
+		if len(a.p.Instances(d.Step)) >= a.cfg.MaxReplicas {
+			continue
+		}
+		host := a.cfg.Hosts[a.nextHost%len(a.cfg.Hosts)]
+		a.nextHost++
+		if _, err := a.p.AddReplica(d.Step, host); err != nil {
+			continue // host full; try another next round
+		}
+		a.events = append(a.events, ScaleEvent{
+			At:      a.eng.Now(),
+			Step:    d.Step,
+			Machine: host.Name(),
+			Reason:  d.Reason,
+		})
+	}
+}

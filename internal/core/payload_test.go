@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/edge-mar/scatter/internal/vision/sift"
+)
+
+func samplePayload() *Payload {
+	var d1, d2 sift.Descriptor
+	d1[0] = 0.5
+	d2[127] = 0.25
+	return &Payload{
+		Image: &ImagePayload{W: 3, H: 2, Pix: []uint8{1, 2, 3, 4, 5, 6}},
+		Features: &Features{
+			Keypoints: []FeatureKeypoint{
+				{X: 1.5, Y: 2.5, Sigma: 1.6, Orientation: -0.7},
+				{X: 10, Y: 20, Sigma: 3.2, Orientation: 2.1},
+			},
+			Descriptors: []sift.Descriptor{d1, d2},
+		},
+		Fisher:     []float32{0.1, -0.2, 0.3},
+		Candidates: []Candidate{{ObjectID: 2, Dist: 0.12}, {ObjectID: 0, Dist: 0.9}},
+		Detections: []Detection{{ObjectID: 1, MinX: 5, MinY: 6, MaxX: 50, MaxY: 60, InlierFrac: 0.8}},
+	}
+}
+
+func payloadsEqual(a, b *Payload) bool {
+	switch {
+	case (a.Image == nil) != (b.Image == nil),
+		(a.Features == nil) != (b.Features == nil),
+		len(a.Fisher) != len(b.Fisher),
+		len(a.Candidates) != len(b.Candidates),
+		len(a.Detections) != len(b.Detections):
+		return false
+	}
+	if a.Image != nil {
+		if a.Image.W != b.Image.W || a.Image.H != b.Image.H || len(a.Image.Pix) != len(b.Image.Pix) {
+			return false
+		}
+		for i := range a.Image.Pix {
+			if a.Image.Pix[i] != b.Image.Pix[i] {
+				return false
+			}
+		}
+	}
+	if a.Features != nil {
+		if len(a.Features.Keypoints) != len(b.Features.Keypoints) {
+			return false
+		}
+		for i := range a.Features.Keypoints {
+			if a.Features.Keypoints[i] != b.Features.Keypoints[i] {
+				return false
+			}
+			if a.Features.Descriptors[i] != b.Features.Descriptors[i] {
+				return false
+			}
+		}
+	}
+	for i := range a.Fisher {
+		if a.Fisher[i] != b.Fisher[i] {
+			return false
+		}
+	}
+	for i := range a.Candidates {
+		if a.Candidates[i] != b.Candidates[i] {
+			return false
+		}
+	}
+	for i := range a.Detections {
+		if a.Detections[i] != b.Detections[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPayloadRoundTripFull(t *testing.T) {
+	p := samplePayload()
+	got, err := DecodePayload(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !payloadsEqual(p, got) {
+		t.Errorf("round trip mismatch:\n%+v\nvs\n%+v", p, got)
+	}
+}
+
+func TestPayloadRoundTripPartial(t *testing.T) {
+	cases := []*Payload{
+		{},
+		{Image: &ImagePayload{W: 1, H: 1, Pix: []uint8{7}}},
+		{Fisher: []float32{}},
+		{Candidates: []Candidate{}},
+		{Detections: []Detection{{ObjectID: 3}}},
+	}
+	for i, p := range cases {
+		got, err := DecodePayload(p.Encode())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !payloadsEqual(p, got) {
+			t.Errorf("case %d mismatch", i)
+		}
+	}
+}
+
+func TestPayloadDecodeTruncated(t *testing.T) {
+	full := samplePayload().Encode()
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := DecodePayload(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+}
+
+func TestPayloadDecodeGarbageProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = DecodePayload(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPayloadDecodeRejectsHugeImage(t *testing.T) {
+	// Craft flags=image with absurd dimensions.
+	buf := []byte{secImage, 0xFF, 0xFF, 0xFF, 0x7F, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := DecodePayload(buf); err == nil {
+		t.Error("huge image accepted")
+	}
+}
+
+func TestPayloadRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := &Payload{}
+		if rng.Intn(2) == 1 {
+			w, h := 1+rng.Intn(8), 1+rng.Intn(8)
+			pix := make([]uint8, w*h)
+			rng.Read(pix)
+			p.Image = &ImagePayload{W: w, H: h, Pix: pix}
+		}
+		if rng.Intn(2) == 1 {
+			n := rng.Intn(4)
+			f := &Features{Keypoints: make([]FeatureKeypoint, n), Descriptors: make([]sift.Descriptor, n)}
+			for i := 0; i < n; i++ {
+				f.Keypoints[i] = FeatureKeypoint{X: rng.Float32(), Y: rng.Float32(), Sigma: rng.Float32()}
+				for j := range f.Descriptors[i] {
+					f.Descriptors[i][j] = rng.Float32()
+				}
+			}
+			p.Features = f
+		}
+		if rng.Intn(2) == 1 {
+			p.Fisher = make([]float32, rng.Intn(16))
+			for i := range p.Fisher {
+				p.Fisher[i] = rng.Float32()
+			}
+		}
+		got, err := DecodePayload(p.Encode())
+		if err != nil {
+			return false
+		}
+		return payloadsEqual(p, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPayloadEncodeFeatures(b *testing.B) {
+	f := &Features{
+		Keypoints:   make([]FeatureKeypoint, 150),
+		Descriptors: make([]sift.Descriptor, 150),
+	}
+	p := &Payload{Features: f}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Encode()
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/edge-mar/scatter/internal/trace"
+	"github.com/edge-mar/scatter/internal/vision/match"
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+// gtBox converts a ground-truth placement into frame coordinates.
+func gtBox(p trace.Placement, refW, refH float64) match.BoundingBox {
+	return match.BoundingBox{
+		MinX: p.OffX,
+		MinY: p.OffY,
+		MaxX: p.OffX + p.Scale*refW,
+		MaxY: p.OffY + p.Scale*refH,
+	}
+}
+
+// TestRecognitionQualityAcrossClip measures the pipeline's recognition
+// quality against ground truth over the moving-camera clip: the
+// well-textured objects (monitor, keyboard) must be found with
+// reasonable localization (IoU) in a majority of sampled frames. This is
+// the accuracy dimension behind the paper's "success rate" — a frame
+// that completes but recognizes nothing would inflate QoS while being
+// useless to the AR client.
+func TestRecognitionQualityAcrossClip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("processes many frames through real SIFT")
+	}
+	gen := trace.NewGenerator(trace.Config{W: 320, H: 180, FPS: 10, Seconds: 2, Seed: 7})
+	model, err := Train(gen.ReferenceImages(), TrainConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSize := make(map[int32][2]float64)
+	for _, obj := range model.Objects {
+		refSize[obj.ID] = [2]float64{obj.W, obj.H}
+	}
+	procs := NewProcessors(model, true, 320, 180)
+
+	const stride = 2
+	frames := 0
+	hits := map[int32]int{}
+	var iouSum float64
+	var iouN int
+	for i := 0; i < gen.NumFrames(); i += stride {
+		fr := clientFrame(t, gen, 1, uint64(i+1), i)
+		p := runPipeline(t, procs, fr)
+		frames++
+		gt := gen.GroundTruth(i)
+		for _, d := range p.Detections {
+			size, ok := refSize[d.ObjectID]
+			if !ok || int(d.ObjectID) >= len(gt) {
+				continue
+			}
+			truth := gtBox(gt[d.ObjectID], size[0], size[1])
+			got := match.BoundingBox{
+				MinX: float64(d.MinX), MinY: float64(d.MinY),
+				MaxX: float64(d.MaxX), MaxY: float64(d.MaxY),
+			}
+			iou := match.IoU(truth, got)
+			if iou > 0.3 {
+				hits[d.ObjectID]++
+				iouSum += iou
+				iouN++
+			}
+		}
+	}
+	for _, id := range []int32{int32(trace.ObjectMonitor), int32(trace.ObjectKeyboard)} {
+		rate := float64(hits[id]) / float64(frames)
+		t.Logf("%s localized (IoU>0.3) in %.0f%% of frames", trace.ObjectName(int(id)), rate*100)
+		if rate < 0.5 {
+			t.Errorf("%s localized in only %.0f%% of frames", trace.ObjectName(int(id)), rate*100)
+		}
+	}
+	if iouN > 0 {
+		mean := iouSum / float64(iouN)
+		t.Logf("mean IoU of accepted localizations: %.2f", mean)
+		if mean < 0.4 {
+			t.Errorf("mean IoU = %.2f, want >= 0.4", mean)
+		}
+	}
+	_ = wire.NumSteps
+}

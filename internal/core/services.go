@@ -1,0 +1,669 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/trace"
+	"github.com/edge-mar/scatter/internal/vision/fisher"
+	"github.com/edge-mar/scatter/internal/vision/imgproc"
+	"github.com/edge-mar/scatter/internal/vision/lsh"
+	"github.com/edge-mar/scatter/internal/vision/match"
+	"github.com/edge-mar/scatter/internal/vision/orb"
+	"github.com/edge-mar/scatter/internal/vision/pca"
+	"github.com/edge-mar/scatter/internal/vision/sift"
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+// Processor is one real pipeline service: it transforms a frame's payload
+// and advances its step. Processors are used by the real UDP runtime and
+// the in-process example pipelines; the experiment testbed models their
+// timing instead of executing them.
+type Processor interface {
+	Step() wire.Step
+	Process(fr *wire.Frame) error
+}
+
+// Errors shared by the real processors.
+var (
+	ErrMissingSection = errors.New("core: payload missing required section")
+	ErrStateMiss      = errors.New("core: sift state not found")
+)
+
+func decodeFor(fr *wire.Frame, step wire.Step) (*Payload, error) {
+	if fr.Step != step {
+		return nil, fmt.Errorf("core: %s received frame at step %s", step, fr.Step)
+	}
+	return DecodePayload(fr.Payload)
+}
+
+func advance(fr *wire.Frame, p *Payload) {
+	fr.Payload = p.Encode()
+	fr.Step = fr.Step.Next()
+}
+
+// Primary implements the pre-processing service: grayscaling (the client
+// sends 8-bit grayscale already quantized by the capture path) and
+// dimension reduction to the analysis resolution.
+type Primary struct {
+	// TargetW/TargetH is the analysis resolution (defaults 320×180).
+	TargetW, TargetH int
+}
+
+// NewPrimary returns the pre-processing service.
+func NewPrimary(targetW, targetH int) *Primary {
+	if targetW <= 0 {
+		targetW = 320
+	}
+	if targetH <= 0 {
+		targetH = 180
+	}
+	return &Primary{TargetW: targetW, TargetH: targetH}
+}
+
+// Step implements Processor.
+func (s *Primary) Step() wire.Step { return wire.StepPrimary }
+
+// Process implements Processor.
+func (s *Primary) Process(fr *wire.Frame) error {
+	p, err := decodeFor(fr, wire.StepPrimary)
+	if err != nil {
+		return err
+	}
+	if p.Image == nil {
+		return fmt.Errorf("%w: image at primary", ErrMissingSection)
+	}
+	img := payloadToGray(p.Image)
+	if img.W != s.TargetW || img.H != s.TargetH {
+		img = imgproc.Resize(img, s.TargetW, s.TargetH)
+	}
+	p.Image = grayToPayload(img)
+	advance(fr, p)
+	return nil
+}
+
+func payloadToGray(ip *ImagePayload) *imgproc.Gray {
+	g := imgproc.NewGray(ip.W, ip.H)
+	for i, v := range ip.Pix {
+		g.Pix[i] = float32(v) / 255
+	}
+	return g
+}
+
+func grayToPayload(g *imgproc.Gray) *ImagePayload {
+	out := &ImagePayload{W: g.W, H: g.H, Pix: make([]uint8, len(g.Pix))}
+	for i, v := range g.Pix {
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		out.Pix[i] = uint8(v*255 + 0.5)
+	}
+	return out
+}
+
+// GrayToPayload converts an image for client submission.
+func GrayToPayload(g *imgproc.Gray) *ImagePayload { return grayToPayload(g) }
+
+// Extractor converts a grayscale frame into features. The default is the
+// SIFT implementation; NewFastSIFT substitutes the ORB extractor (the
+// "faster model" option the paper's §5 discusses).
+type Extractor func(img *imgproc.Gray) *Features
+
+// SIFT implements the object-detection service. In stateful (scAtteR)
+// mode it retains each frame's features in memory until matching fetches
+// them or they time out; in stateless (scAtteR++) mode the features ride
+// in the frame payload.
+type SIFT struct {
+	extract   Extractor
+	stateless bool
+
+	mu     sync.Mutex
+	states map[stateKey]*siftState
+	// StateTimeout bounds state retention (default 1s).
+	StateTimeout time.Duration
+	// now allows tests to control time; defaults to time.Now.
+	now func() time.Time
+}
+
+type siftState struct {
+	features *Features
+	expires  time.Time
+}
+
+// NewSIFT returns the detection service with the SIFT extractor.
+// maxFeatures caps per-frame features (0 = no cap); stateless selects
+// scAtteR++ behaviour.
+func NewSIFT(maxFeatures int, stateless bool) *SIFT {
+	cfg := sift.Defaults()
+	cfg.MaxFeatures = maxFeatures
+	det := sift.New(cfg)
+	return NewDetectService(func(img *imgproc.Gray) *Features {
+		feats := det.Detect(img)
+		f := &Features{
+			Keypoints:   make([]FeatureKeypoint, len(feats)),
+			Descriptors: make([]sift.Descriptor, len(feats)),
+		}
+		for i, ft := range feats {
+			f.Keypoints[i] = FeatureKeypoint{
+				X: float32(ft.X), Y: float32(ft.Y),
+				Sigma: float32(ft.Sigma), Orientation: float32(ft.Orientation),
+			}
+			f.Descriptors[i] = ft.Desc
+		}
+		return f
+	}, stateless)
+}
+
+// NewFastSIFT returns the detection service with the ORB extractor —
+// several times faster than SIFT at the cost of binary (embedded)
+// descriptors. 256-bit BRIEF descriptors are folded into the 128-d
+// descriptor space by summing ±1 bit pairs, preserving the Hamming
+// metric up to quantization so the downstream PCA/Fisher/LSH/matching
+// stages work unchanged.
+func NewFastSIFT(maxFeatures int, stateless bool) *SIFT {
+	det := orb.New(orb.Config{MaxFeatures: maxFeatures})
+	return NewDetectService(func(img *imgproc.Gray) *Features {
+		feats := det.Detect(img)
+		f := &Features{
+			Keypoints:   make([]FeatureKeypoint, len(feats)),
+			Descriptors: make([]sift.Descriptor, len(feats)),
+		}
+		for i := range feats {
+			ft := &feats[i]
+			f.Keypoints[i] = FeatureKeypoint{
+				X: float32(ft.X), Y: float32(ft.Y),
+				Sigma: 1, Orientation: float32(ft.Orientation),
+			}
+			f.Descriptors[i] = foldORB(&ft.Desc)
+		}
+		return f
+	}, stateless)
+}
+
+// foldORB folds a 256-bit ORB descriptor into the 128-d float descriptor
+// space: component k sums bits 2k and 2k+1 as ±1 and the vector is
+// L2-normalized.
+func foldORB(d *orb.Descriptor) sift.Descriptor {
+	var out sift.Descriptor
+	var norm float64
+	for k := 0; k < sift.DescriptorSize; k++ {
+		v := float32(0)
+		for _, bit := range [2]int{2 * k, 2*k + 1} {
+			if d[bit/64]&(1<<uint(bit%64)) != 0 {
+				v++
+			} else {
+				v--
+			}
+		}
+		out[k] = v
+		norm += float64(v) * float64(v)
+	}
+	if norm > 0 {
+		inv := float32(1 / math.Sqrt(norm))
+		for k := range out {
+			out[k] *= inv
+		}
+	}
+	return out
+}
+
+// NewDetectService wraps an arbitrary extractor with the detection
+// service's state semantics.
+func NewDetectService(extract Extractor, stateless bool) *SIFT {
+	if extract == nil {
+		panic("core: nil extractor")
+	}
+	return &SIFT{
+		extract:      extract,
+		stateless:    stateless,
+		states:       make(map[stateKey]*siftState),
+		StateTimeout: time.Second,
+		now:          time.Now,
+	}
+}
+
+// Step implements Processor.
+func (s *SIFT) Step() wire.Step { return wire.StepSIFT }
+
+// Stateless reports the configured mode.
+func (s *SIFT) Stateless() bool { return s.stateless }
+
+// StateCount returns the number of retained frame states.
+func (s *SIFT) StateCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.states)
+}
+
+// Process implements Processor.
+func (s *SIFT) Process(fr *wire.Frame) error {
+	p, err := decodeFor(fr, wire.StepSIFT)
+	if err != nil {
+		return err
+	}
+	if p.Image == nil {
+		return fmt.Errorf("%w: image at sift", ErrMissingSection)
+	}
+	img := payloadToGray(p.Image)
+	f := s.extract(img)
+	p.Image = nil
+	p.Features = f
+	if !s.stateless {
+		// Retain state for matching; strip it from the forwarded frame so
+		// downstream stages carry only what they need.
+		s.mu.Lock()
+		s.expireLocked()
+		s.states[stateKey{client: fr.ClientID, frame: fr.FrameNo}] = &siftState{
+			features: f,
+			expires:  s.now().Add(s.StateTimeout),
+		}
+		s.mu.Unlock()
+	}
+	fr.Stateless = s.stateless
+	advance(fr, p)
+	if !s.stateless {
+		// Downstream carries only descriptors for encoding; keypoints are
+		// fetched back by matching. (Descriptors are needed by encoding.)
+		return nil
+	}
+	return nil
+}
+
+func (s *SIFT) expireLocked() {
+	now := s.now()
+	for k, st := range s.states {
+		if now.After(st.expires) {
+			delete(s.states, k)
+		}
+	}
+}
+
+// Fetch returns and removes the retained features for a frame — the
+// request matching issues in the stateful pipeline.
+func (s *SIFT) Fetch(clientID uint32, frameNo uint64) (*Features, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	key := stateKey{client: clientID, frame: frameNo}
+	st, ok := s.states[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: client %d frame %d", ErrStateMiss, clientID, frameNo)
+	}
+	delete(s.states, key)
+	return st.features, nil
+}
+
+// Encoding implements the PCA + Fisher encoding service.
+type Encoding struct {
+	proj *pca.Projection
+	enc  *fisher.Encoder
+}
+
+// NewEncoding returns the encoding service over a trained model.
+func NewEncoding(proj *pca.Projection, enc *fisher.Encoder) *Encoding {
+	if proj == nil || enc == nil {
+		panic("core: NewEncoding with nil model")
+	}
+	return &Encoding{proj: proj, enc: enc}
+}
+
+// Step implements Processor.
+func (s *Encoding) Step() wire.Step { return wire.StepEncoding }
+
+// Process implements Processor.
+func (s *Encoding) Process(fr *wire.Frame) error {
+	p, err := decodeFor(fr, wire.StepEncoding)
+	if err != nil {
+		return err
+	}
+	if p.Features == nil {
+		return fmt.Errorf("%w: features at encoding", ErrMissingSection)
+	}
+	p.Fisher = s.encodeFeatures(p.Features)
+	if !fr.Stateless {
+		// Stateful pipeline: only the Fisher vector travels on.
+		p.Features = nil
+	}
+	advance(fr, p)
+	return nil
+}
+
+func (s *Encoding) encodeFeatures(f *Features) []float32 {
+	reduced := make([][]float32, len(f.Descriptors))
+	for i := range f.Descriptors {
+		reduced[i] = s.proj.Project(f.Descriptors[i][:])
+	}
+	return s.enc.Encode(reduced)
+}
+
+// LSHService implements nearest-neighbour lookup over reference images.
+type LSHService struct {
+	index *lsh.Index
+	// K is how many candidates to forward (default 3).
+	K int
+}
+
+// NewLSHService wraps a populated index.
+func NewLSHService(index *lsh.Index, k int) *LSHService {
+	if index == nil {
+		panic("core: NewLSHService with nil index")
+	}
+	if k <= 0 {
+		k = 3
+	}
+	return &LSHService{index: index, K: k}
+}
+
+// Step implements Processor.
+func (s *LSHService) Step() wire.Step { return wire.StepLSH }
+
+// Process implements Processor.
+func (s *LSHService) Process(fr *wire.Frame) error {
+	p, err := decodeFor(fr, wire.StepLSH)
+	if err != nil {
+		return err
+	}
+	if p.Fisher == nil {
+		return fmt.Errorf("%w: fisher vector at lsh", ErrMissingSection)
+	}
+	neighbors := s.index.Query(p.Fisher, s.K)
+	if len(neighbors) < s.K && s.index.Len() >= s.K {
+		// Small reference sets can miss probe buckets; top up with the
+		// exact scan so recognition never silently goes blind.
+		neighbors = s.index.ExactNN(p.Fisher, s.K)
+	}
+	p.Candidates = make([]Candidate, len(neighbors))
+	for i, n := range neighbors {
+		p.Candidates[i] = Candidate{ObjectID: int32(n.ID), Dist: float32(n.Dist)}
+	}
+	p.Fisher = nil
+	advance(fr, p)
+	return nil
+}
+
+// ReferenceObject is one trained object: its features in reference-image
+// coordinates and the reference dimensions for box projection.
+type ReferenceObject struct {
+	ID       int32
+	Name     string
+	Features []sift.Feature
+	W, H     float64
+}
+
+// StateFetcher retrieves sift state for a frame (the matching→sift
+// dependency of the stateful pipeline). Implementations: direct call
+// (in-process), RPC (real deployment).
+type StateFetcher func(clientID uint32, frameNo uint64) (*Features, error)
+
+// Matching implements feature matching, pose estimation, and cross-frame
+// tracking.
+type Matching struct {
+	refs    map[int32]*ReferenceObject
+	fetch   StateFetcher
+	ratio   float64
+	ransac  match.RANSACConfig
+	minHits int
+
+	mu       sync.Mutex
+	trackers map[uint32]*match.Tracker
+}
+
+// NewMatching returns the matching service. fetch may be nil when the
+// pipeline runs stateless (features arrive in the payload).
+func NewMatching(refs []*ReferenceObject, fetch StateFetcher) *Matching {
+	m := &Matching{
+		refs:     make(map[int32]*ReferenceObject, len(refs)),
+		fetch:    fetch,
+		ratio:    0.85,
+		ransac:   match.RANSACConfig{Iterations: 400, Threshold: 5, MinInliers: 5, Seed: 1},
+		trackers: make(map[uint32]*match.Tracker),
+	}
+	for _, r := range refs {
+		m.refs[r.ID] = r
+	}
+	return m
+}
+
+// Step implements Processor.
+func (s *Matching) Step() wire.Step { return wire.StepMatching }
+
+// Process implements Processor.
+func (s *Matching) Process(fr *wire.Frame) error {
+	p, err := decodeFor(fr, wire.StepMatching)
+	if err != nil {
+		return err
+	}
+	feats := p.Features
+	if feats == nil {
+		if s.fetch == nil {
+			return fmt.Errorf("%w: features at matching (stateless) or fetcher (stateful)", ErrMissingSection)
+		}
+		feats, err = s.fetch(fr.ClientID, fr.FrameNo)
+		if err != nil {
+			return err
+		}
+	}
+	query := featuresToSIFT(feats)
+	var detections []match.Detection
+	for _, cand := range p.Candidates {
+		ref, ok := s.refs[cand.ObjectID]
+		if !ok {
+			continue
+		}
+		det, ok := s.matchObject(query, ref)
+		if ok {
+			detections = append(detections, det)
+		}
+	}
+	s.mu.Lock()
+	tr, ok := s.trackers[fr.ClientID]
+	if !ok {
+		tr = match.NewTracker(match.TrackerConfig{})
+		s.trackers[fr.ClientID] = tr
+	}
+	tracks := tr.Update(fr.FrameNo, detections)
+	s.mu.Unlock()
+
+	out := make([]Detection, 0, len(tracks))
+	for _, t := range tracks {
+		out = append(out, Detection{
+			ObjectID: int32(t.ObjectID),
+			MinX:     float32(t.Box.MinX), MinY: float32(t.Box.MinY),
+			MaxX: float32(t.Box.MaxX), MaxY: float32(t.Box.MaxY),
+		})
+	}
+	fr.Payload = (&Payload{Detections: out}).Encode()
+	fr.Step = wire.StepDone
+	return nil
+}
+
+func (s *Matching) matchObject(query []sift.Feature, ref *ReferenceObject) (match.Detection, bool) {
+	matches := match.RatioTest(query, ref.Features, s.ratio)
+	if len(matches) < s.ransac.MinInliers {
+		return match.Detection{}, false
+	}
+	src := make([]match.Point, len(matches))
+	dst := make([]match.Point, len(matches))
+	for i, m := range matches {
+		rf := ref.Features[m.TrainIdx]
+		qf := query[m.QueryIdx]
+		src[i] = match.Point{X: rf.X, Y: rf.Y}
+		dst[i] = match.Point{X: qf.X, Y: qf.Y}
+	}
+	res, err := match.EstimateHomographyRANSAC(src, dst, s.ransac)
+	if err != nil {
+		return match.Detection{}, false
+	}
+	return match.Detection{
+		ObjectID:   int(ref.ID),
+		Pose:       res.H,
+		Box:        match.ProjectBox(&res.H, ref.W, ref.H),
+		InlierFrac: res.InlierFrac,
+	}, true
+}
+
+func featuresToSIFT(f *Features) []sift.Feature {
+	out := make([]sift.Feature, len(f.Keypoints))
+	for i, kp := range f.Keypoints {
+		out[i] = sift.Feature{
+			Keypoint: sift.Keypoint{
+				X: float64(kp.X), Y: float64(kp.Y),
+				Sigma: float64(kp.Sigma), Orientation: float64(kp.Orientation),
+			},
+			Desc: f.Descriptors[i],
+		}
+	}
+	return out
+}
+
+// Model bundles everything the recognition pipeline learns from the
+// reference dataset: the PCA projection, the Fisher encoder, the LSH
+// index over reference Fisher vectors, and per-object reference features.
+type Model struct {
+	PCA     *pca.Projection
+	Encoder *fisher.Encoder
+	Index   *lsh.Index
+	Objects []*ReferenceObject
+}
+
+// TrainConfig controls model building.
+type TrainConfig struct {
+	PCADim      int   // descriptor dimensionality after PCA (default 24)
+	GMMK        int   // Fisher mixture components (default 8)
+	GMMIters    int   // EM iterations (default 15)
+	MaxFeatures int   // per-image feature cap (default 150)
+	Seed        int64 // default 1
+	// FastExtractor trains with the ORB extractor instead of SIFT; the
+	// resulting model must be served by NewFastSIFT-based pipelines.
+	FastExtractor bool
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.PCADim <= 0 {
+		c.PCADim = 24
+	}
+	if c.GMMK <= 0 {
+		c.GMMK = 8
+	}
+	if c.GMMIters <= 0 {
+		c.GMMIters = 15
+	}
+	if c.MaxFeatures <= 0 {
+		c.MaxFeatures = 150
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Train builds a Model from reference images (the training dataset the
+// paper's pipeline recognizes against).
+func Train(refs []trace.ReferenceImage, cfg TrainConfig) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(refs) == 0 {
+		return nil, errors.New("core: no reference images")
+	}
+	var detect func(img *imgproc.Gray) []sift.Feature
+	if cfg.FastExtractor {
+		det := orb.New(orb.Config{MaxFeatures: cfg.MaxFeatures, Seed: cfg.Seed})
+		detect = func(img *imgproc.Gray) []sift.Feature {
+			raw := det.Detect(img)
+			out := make([]sift.Feature, len(raw))
+			for i := range raw {
+				out[i] = sift.Feature{
+					Keypoint: sift.Keypoint{
+						X: raw[i].X, Y: raw[i].Y,
+						Sigma: 1, Orientation: raw[i].Orientation,
+						Response: raw[i].Score,
+					},
+					Desc: foldORB(&raw[i].Desc),
+				}
+			}
+			return out
+		}
+	} else {
+		detCfg := sift.Defaults()
+		detCfg.MaxFeatures = cfg.MaxFeatures
+		det := sift.New(detCfg)
+		detect = det.Detect
+	}
+
+	var allDescs [][]float32
+	objects := make([]*ReferenceObject, 0, len(refs))
+	for _, ref := range refs {
+		feats := detect(ref.Img)
+		if len(feats) == 0 {
+			return nil, fmt.Errorf("core: reference image %q yields no features", ref.Name)
+		}
+		objects = append(objects, &ReferenceObject{
+			ID:       int32(ref.ObjectID),
+			Name:     ref.Name,
+			Features: feats,
+			W:        float64(ref.Img.W),
+			H:        float64(ref.Img.H),
+		})
+		for i := range feats {
+			allDescs = append(allDescs, feats[i].Desc[:])
+		}
+	}
+	proj, err := pca.Fit(allDescs, cfg.PCADim)
+	if err != nil {
+		return nil, fmt.Errorf("core: train PCA: %w", err)
+	}
+	reduced := proj.ProjectAll(allDescs)
+	gmm, err := fisher.TrainGMM(reduced, cfg.GMMK, cfg.GMMIters, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: train GMM: %w", err)
+	}
+	enc := fisher.NewEncoder(gmm)
+	index := lsh.New(lsh.Config{Dim: enc.Size(), Tables: 8, Bits: 6, Probes: 2, Seed: cfg.Seed})
+	// Index each object's reference Fisher vector.
+	for _, obj := range objects {
+		descs := make([][]float32, len(obj.Features))
+		for i := range obj.Features {
+			descs[i] = proj.Project(obj.Features[i].Desc[:])
+		}
+		index.Add(int(obj.ID), enc.Encode(descs))
+	}
+	return &Model{PCA: proj, Encoder: enc, Index: index, Objects: objects}, nil
+}
+
+// NewProcessors builds the five real services over a trained model.
+// stateless selects scAtteR++ semantics; in stateful mode the returned
+// Matching fetches directly from the returned SIFT instance (in-process
+// wiring; the distributed runtime substitutes an RPC fetcher).
+func NewProcessors(m *Model, stateless bool, analysisW, analysisH int) [wire.NumSteps]Processor {
+	return newProcessors(m, stateless, analysisW, analysisH, false)
+}
+
+// NewFastProcessors is NewProcessors with the ORB extractor at the
+// detection stage — use with a Model trained with FastExtractor.
+func NewFastProcessors(m *Model, stateless bool, analysisW, analysisH int) [wire.NumSteps]Processor {
+	return newProcessors(m, stateless, analysisW, analysisH, true)
+}
+
+func newProcessors(m *Model, stateless bool, analysisW, analysisH int, fast bool) [wire.NumSteps]Processor {
+	var s *SIFT
+	if fast {
+		s = NewFastSIFT(150, stateless)
+	} else {
+		s = NewSIFT(150, stateless)
+	}
+	var fetch StateFetcher
+	if !stateless {
+		fetch = s.Fetch
+	}
+	return [wire.NumSteps]Processor{
+		wire.StepPrimary:  NewPrimary(analysisW, analysisH),
+		wire.StepSIFT:     s,
+		wire.StepEncoding: NewEncoding(m.PCA, m.Encoder),
+		wire.StepLSH:      NewLSHService(m.Index, 3),
+		wire.StepMatching: NewMatching(m.Objects, fetch),
+	}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+const ablDur = 20 * time.Second
+
+func TestAblationThreshold(t *testing.T) {
+	pts, rep := AblationThreshold(ablDur)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// E2E grows monotonically with the threshold; FPS stays capacity-
+	// bound (the threshold trades latency, not throughput, at this load).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Summary.E2EMeanMS <= pts[i-1].Summary.E2EMeanMS {
+			t.Errorf("E2E not increasing with threshold: %v -> %v",
+				pts[i-1].Summary.E2EMeanMS, pts[i].Summary.E2EMeanMS)
+		}
+	}
+	lo, hi := pts[0].Summary.FPSPerClient, pts[len(pts)-1].Summary.FPSPerClient
+	if hi < lo*0.9 || hi > lo*1.1 {
+		t.Errorf("FPS should stay capacity-bound: %v vs %v", lo, hi)
+	}
+	if len(rep.Tables) != 1 {
+		t.Error("report tables")
+	}
+}
+
+func TestAblationQueueCap(t *testing.T) {
+	pts, _ := AblationQueueCap(ablDur)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Tiny queues shed as overflow; big queues shed at the threshold.
+	if pts[0].Summary.DropOverflow == 0 {
+		t.Error("cap=2 produced no overflow drops")
+	}
+	last := pts[len(pts)-1].Summary
+	if last.DropOverflow != 0 {
+		t.Errorf("cap=256 overflowed %d times", last.DropOverflow)
+	}
+	if last.DropThreshold == 0 {
+		t.Error("cap=256 produced no threshold drops at saturation")
+	}
+	// Tiny queue keeps latency lower than a deep one.
+	if pts[0].Summary.E2EMeanMS >= last.E2EMeanMS {
+		t.Errorf("cap=2 E2E %v not below cap=256 %v",
+			pts[0].Summary.E2EMeanMS, last.E2EMeanMS)
+	}
+}
+
+func TestAblationFetchTimeout(t *testing.T) {
+	pts, _ := AblationFetchTimeout(ablDur)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Longer busy-waits amplify the dependency loop: FPS decreases.
+	first, last := pts[0].Summary.FPSPerClient, pts[len(pts)-1].Summary.FPSPerClient
+	if last >= first {
+		t.Errorf("FPS should fall with fetch timeout: %v -> %v", first, last)
+	}
+}
+
+func TestAblationStateTimeout(t *testing.T) {
+	pts, _ := AblationStateTimeout(ablDur)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Memory grows with retention while success stays flat.
+	first, last := pts[0].Summary, pts[len(pts)-1].Summary
+	if last.SiftMemBytes <= first.SiftMemBytes {
+		t.Errorf("sift memory did not grow with retention: %d -> %d",
+			first.SiftMemBytes, last.SiftMemBytes)
+	}
+	if diff := last.SuccessRate - first.SuccessRate; diff > 0.05 || diff < -0.05 {
+		t.Errorf("success moved %.3f with retention; should be flat", diff)
+	}
+}
+
+func TestAblationsCombined(t *testing.T) {
+	r := Ablations(ablDur)
+	if len(r.Tables) != 5 {
+		t.Fatalf("combined tables = %d", len(r.Tables))
+	}
+	if r.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestAblationFastModel(t *testing.T) {
+	pts, _ := AblationFastModel(ablDur)
+	if len(pts) != 12 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	byVariant := map[string]map[int]AblationPoint{}
+	for _, pt := range pts {
+		if byVariant[pt.Param] == nil {
+			byVariant[pt.Param] = map[int]AblationPoint{}
+		}
+		byVariant[pt.Param][pt.Clients] = pt
+	}
+	sift := byVariant["extractor-sift"]
+	fast := byVariant["extractor-fast"]
+	// The faster extractor sustains more clients before saturating...
+	if fast[6].Summary.FPSPerClient <= sift[6].Summary.FPSPerClient {
+		t.Errorf("fast extractor no better at 6 clients: %.1f vs %.1f",
+			fast[6].Summary.FPSPerClient, sift[6].Summary.FPSPerClient)
+	}
+	// ...but still saturates eventually (paper §5: model optimization is
+	// no substitute for horizontal scalability).
+	if fast[10].Summary.FPSPerClient >= fast[1].Summary.FPSPerClient*0.95 {
+		t.Errorf("fast extractor never saturated: %.1f at 10 clients vs %.1f at 1",
+			fast[10].Summary.FPSPerClient, fast[1].Summary.FPSPerClient)
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	pts, rep := SeedSensitivity(15*time.Second, 3)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.FPSMean <= 0 {
+			t.Errorf("%s: mean FPS = %v", pt.Config, pt.FPSMean)
+		}
+		if pt.FPSStd < 0 || pt.E2EStd < 0 {
+			t.Errorf("%s: negative std", pt.Config)
+		}
+	}
+	// Unsaturated single-client points are far more stable than the
+	// saturated scAtteR point.
+	var sat1, unsat1 VariancePoint
+	for _, pt := range pts {
+		if pt.Config == "scAtteR E1 4c" {
+			sat1 = pt
+		}
+		if pt.Config == "scAtteR++ E1 1c" {
+			unsat1 = pt
+		}
+	}
+	relSat := sat1.FPSStd / sat1.FPSMean
+	relUnsat := unsat1.FPSStd / (unsat1.FPSMean + 1e-9)
+	if relSat <= relUnsat {
+		t.Errorf("saturated variance %.3f not above unsaturated %.3f", relSat, relUnsat)
+	}
+	if len(rep.Tables) != 1 {
+		t.Error("report tables")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 {
+		t.Errorf("mean = %v", m)
+	}
+	if s < 2.0 || s > 2.3 { // sample std of this classic set ≈ 2.138
+		t.Errorf("std = %v", s)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Error("empty meanStd")
+	}
+	if _, s := meanStd([]float64{3}); s != 0 {
+		t.Error("single-element std")
+	}
+}

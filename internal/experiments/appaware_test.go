@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAppAwareComparison(t *testing.T) {
+	pts, rep := AppAware(60 * time.Second)
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	byKey := map[string]AppAwarePoint{}
+	for _, pt := range pts {
+		byKey[pt.Mode.String()+"/"+pt.Policy] = pt
+	}
+	for _, mode := range []string{"scAtteR", "scAtteR++"} {
+		static := byKey[mode+"/static"]
+		hw := byKey[mode+"/hardware"]
+		qos := byKey[mode+"/qos"]
+		// Insight (I)/(IV): hardware-only policy is blind — identical to
+		// static (it never fires during the low-utilization collapse).
+		if len(hw.Events) != 0 {
+			t.Errorf("%s: hardware policy fired %d times", mode, len(hw.Events))
+		}
+		if hw.Summary.FPSAggregate != static.Summary.FPSAggregate {
+			t.Errorf("%s: hardware run diverged from static without scaling", mode)
+		}
+		// The QoS policy must react and improve aggregate throughput.
+		if len(qos.Events) == 0 {
+			t.Errorf("%s: qos policy never scaled", mode)
+		}
+		if qos.Summary.FPSAggregate <= static.Summary.FPSAggregate*1.1 {
+			t.Errorf("%s: qos scaling did not help (%.1f vs %.1f)",
+				mode, qos.Summary.FPSAggregate, static.Summary.FPSAggregate)
+		}
+	}
+	// scAtteR++ with QoS autoscaling is the overall best system.
+	if byKey["scAtteR++/qos"].Summary.FPSAggregate <= byKey["scAtteR/qos"].Summary.FPSAggregate {
+		t.Error("scAtteR++/qos not the best configuration")
+	}
+	if len(rep.Tables) != 2 {
+		t.Errorf("tables = %d", len(rep.Tables))
+	}
+}

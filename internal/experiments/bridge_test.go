@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/orchestrator"
+	"github.com/edge-mar/scatter/internal/sim"
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+// TestOrchestratorDrivesSimulation closes the loop: the SLA is scheduled
+// by the real orchestrator (GPU/memory constraints and pins), the
+// resulting deployment is converted to a simulator placement, and the
+// pipeline runs on it.
+func TestOrchestratorDrivesSimulation(t *testing.T) {
+	w := NewWorld(77)
+	root := orchestrator.NewRoot()
+	if err := w.RegisterTestbed(root); err != nil {
+		t.Fatal(err)
+	}
+	// Pin the C12 configuration through the SLA.
+	pins := [wire.NumSteps][]string{
+		{"E1"}, {"E1"}, {"E2"}, {"E2"}, {"E2"},
+	}
+	sla := ScatterSLA([wire.NumSteps]int{}, pins)
+	d, err := root.Deploy(sla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement, err := w.PlacementFromDeployment(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The schedule must respect the pins.
+	if placement[wire.StepPrimary][0] != w.E1 || placement[wire.StepMatching][0] != w.E2 {
+		t.Fatal("pins not honoured through the orchestrator")
+	}
+	p := core.NewPipeline(w.Eng, w.Fabric, w.Col, placement, core.DefaultProfiles(),
+		core.Options{Mode: core.ModeScatterPP})
+	p.AddClient(core.ClientConfig{ID: 1, FPS: 30, Stop: 10 * time.Second})
+	w.Eng.Run(10*time.Second + 500*time.Millisecond)
+	s := w.Col.Summarize(10*time.Second, 1, nil)
+	if s.FPSPerClient < 25 {
+		t.Errorf("orchestrator-driven deployment FPS = %.1f", s.FPSPerClient)
+	}
+}
+
+func TestScatterSLAConstraints(t *testing.T) {
+	sla := ScatterSLA([wire.NumSteps]int{0, 2, 0, 0, 2}, [wire.NumSteps][]string{})
+	if err := sla.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sla.Microservices[1].Replicas != 2 || sla.Microservices[4].Replicas != 2 {
+		t.Error("replica counts lost")
+	}
+	if sla.Microservices[0].Requirements.NeedsGPU {
+		t.Error("primary marked GPU-dependent")
+	}
+	for i := 1; i < wire.NumSteps; i++ {
+		if !sla.Microservices[i].Requirements.NeedsGPU {
+			t.Errorf("%s not GPU-dependent", sla.Microservices[i].Name)
+		}
+	}
+}
+
+func TestPlacementFromDeploymentErrors(t *testing.T) {
+	w := NewWorld(1)
+	// Missing services.
+	if _, err := w.PlacementFromDeployment(&orchestrator.Deployment{App: "x"}); err == nil {
+		t.Error("empty deployment accepted")
+	}
+	// Unknown node.
+	d := &orchestrator.Deployment{App: "x"}
+	for step := 0; step < wire.NumSteps; step++ {
+		d.Instances = append(d.Instances, orchestrator.Instance{
+			App: "x", Service: wire.Step(step).String(), Node: "mystery",
+		})
+	}
+	if _, err := w.PlacementFromDeployment(d); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestMachineByName(t *testing.T) {
+	w := NewWorld(1)
+	if m, ok := w.MachineByName("E1"); !ok || m != w.E1 {
+		t.Error("E1 lookup")
+	}
+	if _, ok := w.MachineByName("nope"); ok {
+		t.Error("unknown machine found")
+	}
+	_ = sim.New // keep import shape stable
+}

@@ -1,0 +1,212 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (Figures 2–4 and 6–12) plus the headline scalars of §1/§5, by running
+// the scAtteR/scAtteR++ pipelines on the simulated testbed. Each FigN
+// function returns the measured data as typed points and a renderable
+// text report whose rows mirror the series the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/metrics"
+	"github.com/edge-mar/scatter/internal/netem"
+	"github.com/edge-mar/scatter/internal/sim"
+	"github.com/edge-mar/scatter/internal/testbed"
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+// World is one simulated instantiation of the paper's testbed.
+type World struct {
+	Eng    *sim.Engine
+	Fabric *core.Fabric
+	Col    *metrics.Collector
+	E1     *testbed.Machine
+	E2     *testbed.Machine
+	Cloud  *testbed.Machine
+}
+
+// NewWorld builds the machines and network of §3.2 on a fresh engine.
+func NewWorld(seed int64) *World {
+	eng := sim.New(seed)
+	return &World{
+		Eng:    eng,
+		Fabric: core.NewFabric(eng),
+		Col:    metrics.NewCollector(),
+		E1:     testbed.NewMachine(testbed.E1(), eng),
+		E2:     testbed.NewMachine(testbed.E2(), eng),
+		Cloud:  testbed.NewMachine(testbed.Cloud(), eng),
+	}
+}
+
+// DefaultDuration is the per-run virtual experiment length. The paper
+// runs five minutes per point; sixty seconds of virtual time yields the
+// same steady-state statistics in a fraction of the event count, and the
+// CLI can raise it.
+const DefaultDuration = 60 * time.Second
+
+// RunSpec describes one experiment run (one point in a figure).
+type RunSpec struct {
+	Name      string
+	Mode      core.Mode
+	Placement func(w *World) core.Placement
+	Clients   int
+	Duration  time.Duration // default DefaultDuration
+	Seed      int64         // default 1
+	Options   core.Options  // Mode is overwritten from Mode field
+	// ClientAccess overrides the client access link (Fig. 9).
+	ClientAccess *netem.LinkConfig
+	// Profiles overrides the service compute profiles (nil = defaults);
+	// used by the faster-extractor ablation.
+	Profiles *core.Profiles
+	// ClientStagger delays each successive client's start; small by
+	// default, one interval in the staged-deploy analytics figures.
+	ClientStagger time.Duration
+	// FPS overrides the 30 FPS camera rate.
+	FPS int
+}
+
+// RunPoint is the measured outcome of one run.
+type RunPoint struct {
+	Config   string
+	Mode     core.Mode
+	Clients  int
+	Duration time.Duration
+	Summary  metrics.Summary
+	Services map[string]core.ServiceUsage
+	// World and pipeline survive for figure-specific post-processing
+	// (ingress/drop series).
+	world    *World
+	pipeline *core.Pipeline
+}
+
+// Run executes one spec on a fresh world.
+func Run(spec RunSpec) RunPoint {
+	if spec.Duration <= 0 {
+		spec.Duration = DefaultDuration
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if spec.Clients <= 0 {
+		spec.Clients = 1
+	}
+	if spec.ClientStagger == 0 {
+		spec.ClientStagger = 7 * time.Millisecond
+	}
+	w := NewWorld(spec.Seed)
+	if spec.ClientAccess != nil {
+		w.Fabric.SetClientAccess(*spec.ClientAccess)
+	}
+	opts := spec.Options
+	opts.Mode = spec.Mode
+	profiles := core.DefaultProfiles()
+	if spec.Profiles != nil {
+		profiles = *spec.Profiles
+	}
+	p := core.NewPipeline(w.Eng, w.Fabric, w.Col, spec.Placement(w), profiles, opts)
+	for i := 0; i < spec.Clients; i++ {
+		p.AddClient(core.ClientConfig{
+			ID:    uint32(i + 1),
+			FPS:   spec.FPS,
+			Start: sim.Time(i) * spec.ClientStagger,
+			Stop:  spec.Duration,
+		})
+	}
+	w.Eng.Run(spec.Duration + 500*time.Millisecond)
+	services, machines := p.Usage()
+	return RunPoint{
+		Config:   spec.Name,
+		Mode:     spec.Mode,
+		Clients:  spec.Clients,
+		Duration: spec.Duration,
+		Summary:  w.Col.Summarize(spec.Duration, spec.Clients, machines),
+		Services: services,
+		world:    w,
+		pipeline: p,
+	}
+}
+
+// IngressFPSSeries exposes the per-service ingress FPS over intervals of
+// the run (Figures 8/12).
+func (pt RunPoint) IngressFPSSeries(service string, interval time.Duration) []float64 {
+	return pt.world.Col.IngressFPSSeries(service, pt.Duration, interval)
+}
+
+// DropRatioSeries exposes the per-service drop-ratio series.
+func (pt RunPoint) DropRatioSeries(service string, interval time.Duration) []float64 {
+	return pt.world.Col.DropRatioSeries(service, pt.Duration, interval)
+}
+
+// ServiceNames lists the five services in pipeline order.
+func ServiceNames() []string {
+	names := make([]string, wire.NumSteps)
+	for i := 0; i < wire.NumSteps; i++ {
+		names[i] = wire.Step(i).String()
+	}
+	return names
+}
+
+// Placement catalogue — the configurations the paper evaluates.
+
+// ConfigC1 deploys everything on E1.
+func ConfigC1(w *World) core.Placement { return core.PlaceAll(w.E1) }
+
+// ConfigC2 deploys everything on E2.
+func ConfigC2(w *World) core.Placement { return core.PlaceAll(w.E2) }
+
+// ConfigC12 is [E1,E1,E2,E2,E2]: primary and sift on E1.
+func ConfigC12(w *World) core.Placement {
+	return core.PlaceOrdered(w.E1, w.E1, w.E2, w.E2, w.E2)
+}
+
+// ConfigC21 is [E2,E2,E1,E1,E1]: primary and sift on E2.
+func ConfigC21(w *World) core.Placement {
+	return core.PlaceOrdered(w.E2, w.E2, w.E1, w.E1, w.E1)
+}
+
+// ConfigCloud deploys everything on the AWS VM (Fig. 4).
+func ConfigCloud(w *World) core.Placement { return core.PlaceAll(w.Cloud) }
+
+// ConfigHybrid is [E1,C,C,C,C]: ingress at the edge, the rest in the
+// cloud (Fig. 11).
+func ConfigHybrid(w *World) core.Placement {
+	return core.PlaceOrdered(w.E1, w.Cloud, w.Cloud, w.Cloud, w.Cloud)
+}
+
+// ConfigScaled builds the replication configurations of Figures 3 and 7:
+// the base pipeline runs on E2 and additional replicas land on E1 (then
+// alternate back to E2 for triple replication), matching "QoS over E2
+// with another replica on E1".
+func ConfigScaled(counts [wire.NumSteps]int) func(w *World) core.Placement {
+	return func(w *World) core.Placement {
+		hosts := []*testbed.Machine{w.E2, w.E1}
+		var p core.Placement
+		for step, n := range counts {
+			if n <= 0 {
+				n = 1
+			}
+			for r := 0; r < n; r++ {
+				p[step] = append(p[step], hosts[r%len(hosts)])
+			}
+		}
+		return p
+	}
+}
+
+// ScaledName renders a replication vector the way the paper labels it,
+// e.g. [1,2,2,1,2].
+func ScaledName(counts [wire.NumSteps]int) string {
+	s := "["
+	for i, n := range counts {
+		if i > 0 {
+			s += ","
+		}
+		if n <= 0 {
+			n = 1
+		}
+		s += fmt.Sprintf("%d", n)
+	}
+	return s + "]"
+}

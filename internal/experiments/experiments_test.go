@@ -1,0 +1,418 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+// testDur keeps unit runs fast; the CLI uses DefaultDuration or longer.
+const testDur = 15 * time.Second
+
+// byConfigClients indexes points for assertions.
+func index(pts []RunPoint) map[string]map[int]RunPoint {
+	out := make(map[string]map[int]RunPoint)
+	for _, pt := range pts {
+		if out[pt.Config] == nil {
+			out[pt.Config] = make(map[int]RunPoint)
+		}
+		out[pt.Config][pt.Clients] = pt
+	}
+	return out
+}
+
+func TestFig2Shape(t *testing.T) {
+	pts, rep := Fig2(testDur)
+	if len(pts) != 16 {
+		t.Fatalf("fig2 points = %d, want 4 configs x 4 client counts", len(pts))
+	}
+	idx := index(pts)
+	for cfg, byN := range idx {
+		one, four := byN[1], byN[4]
+		if one.Summary.FPSPerClient < 25 {
+			t.Errorf("%s: 1-client FPS = %.1f, want >= 25 (paper)", cfg, one.Summary.FPSPerClient)
+		}
+		if one.Summary.E2EMean < 30*time.Millisecond || one.Summary.E2EMean > 60*time.Millisecond {
+			t.Errorf("%s: 1-client E2E = %v, want ≈40ms", cfg, one.Summary.E2EMean)
+		}
+		if four.Summary.FPSPerClient > 8 {
+			t.Errorf("%s: 4-client FPS = %.1f, paper struggled to maintain >5", cfg, four.Summary.FPSPerClient)
+		}
+		// sift memory grows with load (state retention).
+		if four.Services["sift"].MemBytes <= one.Services["sift"].MemBytes {
+			t.Errorf("%s: sift memory does not grow with clients (%d -> %d)",
+				cfg, one.Services["sift"].MemBytes, four.Services["sift"].MemBytes)
+		}
+		// matching stalls at load: its GPU utilization declines (the
+		// paper's counter-intuitive utilization drop).
+		if four.Services["matching"].GPUPct >= one.Services["matching"].GPUPct {
+			t.Errorf("%s: matching GPU util did not decline under load (%.3f -> %.3f)",
+				cfg, one.Services["matching"].GPUPct, four.Services["matching"].GPUPct)
+		}
+	}
+	if !strings.Contains(rep.Render(), "fig2") {
+		t.Error("report render missing figure id")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	pts, _ := Fig3(testDur)
+	if len(pts) != 12 {
+		t.Fatalf("fig3 points = %d", len(pts))
+	}
+	idx := index(pts)
+	best := idx["[1,2,2,1,2]"]
+	ingressHeavy := idx["[2,2,1,1,1]"]
+	// The paper's best-performing configuration beats the ingress-
+	// replicated one at 2-3 concurrent clients.
+	for _, n := range []int{2, 3} {
+		if best[n].Summary.FPSPerClient < ingressHeavy[n].Summary.FPSPerClient {
+			t.Errorf("[1,2,2,1,2] at %d clients (%.1f FPS) not better than [2,2,1,1,1] (%.1f)",
+				n, best[n].Summary.FPSPerClient, ingressHeavy[n].Summary.FPSPerClient)
+		}
+	}
+	// Replication cannot rescue the stateful pipeline: even the best
+	// config collapses well below 30 FPS at 4 clients.
+	if best[4].Summary.FPSPerClient > 20 {
+		t.Errorf("[1,2,2,1,2] at 4 clients = %.1f FPS; stateful scaling limit missing", best[4].Summary.FPSPerClient)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	pts, _ := Fig4(testDur)
+	if len(pts) != 4 {
+		t.Fatalf("fig4 points = %d", len(pts))
+	}
+	one := pts[0]
+	if one.Summary.FPSPerClient >= 25 {
+		t.Errorf("cloud 1-client FPS = %.1f, want below edge (paper 18.2)", one.Summary.FPSPerClient)
+	}
+	if one.Summary.SuccessRate >= 0.9 {
+		t.Errorf("cloud success = %.2f, want degraded (paper 64%%)", one.Summary.SuccessRate)
+	}
+	// Degradation is not hardware-driven: utilization stays moderate.
+	for _, m := range one.Summary.Machines {
+		if m.CPUUtil > 0.3 {
+			t.Errorf("cloud CPU util = %.2f, paper <5%%", m.CPUUtil)
+		}
+	}
+	// E2E carries the client-cloud RTT: clearly above edge's ~40ms.
+	if one.Summary.E2EMean < 55*time.Millisecond {
+		t.Errorf("cloud E2E = %v, want ≥ edge + RTT", one.Summary.E2EMean)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	pts6, _ := Fig6(testDur)
+	if len(pts6) != 16 {
+		t.Fatalf("fig6 points = %d", len(pts6))
+	}
+	idx6 := index(pts6)
+	for cfg, byN := range idx6 {
+		if byN[4].Summary.FPSPerClient < 10 {
+			t.Errorf("%s: scAtteR++ 4-client FPS = %.1f, paper maintains ≈12+", cfg, byN[4].Summary.FPSPerClient)
+		}
+		// Stateless sift: no state memory growth.
+		if byN[4].Services["sift"].MemBytes != byN[1].Services["sift"].MemBytes {
+			t.Errorf("%s: scAtteR++ sift memory grew", cfg)
+		}
+		// Resource use scales with load instead of collapsing: sift GPU
+		// utilization at 4 clients >= at 1 client.
+		if byN[4].Services["sift"].GPUPct < byN[1].Services["sift"].GPUPct {
+			t.Errorf("%s: scAtteR++ sift GPU util declined under load", cfg)
+		}
+	}
+}
+
+func TestFig6OutperformsFig2(t *testing.T) {
+	pts2, _ := Fig2(testDur)
+	pts6, _ := Fig6(testDur)
+	i2, i6 := index(pts2), index(pts6)
+	for cfg := range i2 {
+		base := i2[cfg][4].Summary.FPSPerClient
+		pp := i6[cfg][4].Summary.FPSPerClient
+		if pp < 2*base {
+			t.Errorf("%s: scAtteR++ %.1f vs scAtteR %.1f at 4 clients; want >= 2x (paper 2.5x)", cfg, pp, base)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	pts, _ := Fig7(testDur)
+	if len(pts) != 30 {
+		t.Fatalf("fig7 points = %d", len(pts))
+	}
+	idx := index(pts)
+	for cfg, byN := range idx {
+		// Light load keeps full frame rate; ten clients degrade but the
+		// pipeline still delivers (no collapse).
+		if byN[2].Summary.FPSPerClient < 25 {
+			t.Errorf("%s: 2-client FPS = %.1f", cfg, byN[2].Summary.FPSPerClient)
+		}
+		if byN[10].Summary.FPSPerClient < 5 {
+			t.Errorf("%s: 10-client FPS = %.1f; scAtteR++ should degrade gracefully", cfg, byN[10].Summary.FPSPerClient)
+		}
+		if byN[10].Summary.FPSPerClient > byN[2].Summary.FPSPerClient {
+			t.Errorf("%s: FPS increased with 5x clients", cfg)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	pt, rep := Fig8()
+	if pt.Clients != 10 {
+		t.Fatalf("fig8 clients = %d", pt.Clients)
+	}
+	primary := pt.IngressFPSSeries("primary", analyticsInterval)
+	if len(primary) != 10 {
+		t.Fatalf("series length = %d", len(primary))
+	}
+	// Ingress at primary grows with the client ramp.
+	if primary[0] < 25 || primary[0] > 35 {
+		t.Errorf("interval 1 primary ingress = %.1f, want ~30", primary[0])
+	}
+	if primary[9] < primary[0]*3 {
+		t.Errorf("primary ingress did not ramp: %v", primary)
+	}
+	// Post-sift stages plateau: matching ingress at 10 clients stays
+	// below the raw 300 FPS offered load (the paper's ~90 FPS plateau).
+	matching := pt.IngressFPSSeries("matching", analyticsInterval)
+	if matching[9] > 200 {
+		t.Errorf("matching ingress at 10 clients = %.1f; plateau missing", matching[9])
+	}
+	// Queue drops appear at the saturated stages late in the ramp.
+	anyDrops := false
+	for _, svc := range ServiceNames() {
+		dr := pt.DropRatioSeries(svc, analyticsInterval)
+		if dr[9] > 0.05 {
+			anyDrops = true
+		}
+		if dr[0] > 0.2 {
+			t.Errorf("%s drop ratio %.2f already at 1 client", svc, dr[0])
+		}
+	}
+	if !anyDrops {
+		t.Error("no service shows queue drops at 10 clients")
+	}
+	if len(rep.Tables) != 2 {
+		t.Errorf("fig8 tables = %d", len(rep.Tables))
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	pts, rep := Fig9(testDur)
+	if len(pts) != (3+4)*4 {
+		t.Fatalf("fig9 points = %d", len(pts))
+	}
+	idx := index(pts)
+	// (a) loss does not drastically impact single-client performance.
+	lo := idx["loss=0.00001%"][1].Summary
+	hi := idx["loss=0.08%"][1].Summary
+	if hi.FPSPerClient < lo.FPSPerClient-3 {
+		t.Errorf("0.08%% loss dropped FPS from %.1f to %.1f; paper saw no drastic impact",
+			lo.FPSPerClient, hi.FPSPerClient)
+	}
+	// (b) latency shifts E2E by ~RTT but leaves FPS consistent.
+	r1 := idx["rtt=1 ms"][1].Summary
+	r40 := idx["rtt=40 ms"][1].Summary
+	shift := r40.E2EMean - r1.E2EMean
+	if shift < 25*time.Millisecond || shift > 60*time.Millisecond {
+		t.Errorf("E2E shift for 40ms RTT = %v, want ≈ +39ms", shift)
+	}
+	if r40.FPSPerClient < r1.FPSPerClient*0.75 {
+		t.Errorf("40ms RTT dropped FPS %.1f -> %.1f; scAtteR has no latency budget",
+			r1.FPSPerClient, r40.FPSPerClient)
+	}
+	if len(rep.Tables) != 2 {
+		t.Errorf("fig9 tables = %d", len(rep.Tables))
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	pts, rep := Fig10(testDur)
+	if len(pts) != 16+12+4 {
+		t.Fatalf("fig10 points = %d", len(pts))
+	}
+	if len(rep.Tables) != 3 {
+		t.Fatalf("fig10 tables = %d", len(rep.Tables))
+	}
+	// Cloud jitter exceeds single-machine edge jitter (latency
+	// fluctuations on the WAN).
+	idx := index(pts)
+	cloud1 := idx["cloud"][1].Summary.JitterMean
+	edge1 := idx["Edge1 (E1)"][1].Summary.JitterMean
+	if cloud1 <= edge1 {
+		t.Errorf("cloud jitter %v <= edge jitter %v", cloud1, edge1)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	pts, _ := Fig11(testDur)
+	if len(pts) != 12 {
+		t.Fatalf("fig11 points = %d (4 UDP + 4 reliable + 4 three-way)", len(pts))
+	}
+	// The reliable-transport variant (the paper's A.1.2 suggestion)
+	// recovers success at a latency cost.
+	udp1, rel1 := pts[0], pts[4]
+	if rel1.Summary.SuccessRate <= udp1.Summary.SuccessRate {
+		t.Errorf("reliable transport did not improve success: %.2f vs %.2f",
+			rel1.Summary.SuccessRate, udp1.Summary.SuccessRate)
+	}
+	if rel1.Summary.E2EMean <= udp1.Summary.E2EMean {
+		t.Errorf("reliable transport has no retransmission cost: %v vs %v",
+			rel1.Summary.E2EMean, udp1.Summary.E2EMean)
+	}
+	// The three-way split (sift on E2, matching in the cloud) suffers the
+	// state-dependency artifacts the paper reports: clearly worse than
+	// the plain hybrid.
+	threeWay1 := pts[8]
+	if threeWay1.Summary.SuccessRate >= udp1.Summary.SuccessRate {
+		t.Errorf("three-way split success %.2f not below hybrid %.2f",
+			threeWay1.Summary.SuccessRate, udp1.Summary.SuccessRate)
+	}
+	cloudPts, _ := Fig4(testDur)
+	// Hybrid performs worse than cloud-only (paper: severe degradation,
+	// ~2x latency, WAN frame drops).
+	if pts[0].Summary.FPSPerClient > cloudPts[0].Summary.FPSPerClient {
+		t.Errorf("hybrid 1-client FPS %.1f > cloud-only %.1f",
+			pts[0].Summary.FPSPerClient, cloudPts[0].Summary.FPSPerClient)
+	}
+	if pts[0].Summary.FPSPerClient > 17 {
+		t.Errorf("hybrid FPS = %.1f, paper ~<=15", pts[0].Summary.FPSPerClient)
+	}
+	// WAN transit inflates E2E well beyond the edge's ~40ms.
+	if pts[0].Summary.E2EMean < 70*time.Millisecond {
+		t.Errorf("hybrid E2E = %v, want WAN-inflated", pts[0].Summary.E2EMean)
+	}
+	// WAN loss must be visible.
+	if pts[3].Summary.Drops["loss"] == 0 {
+		t.Error("no network loss recorded on the hybrid WAN path")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	pt, rep := Fig12()
+	if pt.Clients != 4 {
+		t.Fatalf("fig12 clients = %d", pt.Clients)
+	}
+	primary := pt.IngressFPSSeries("primary", analyticsInterval)
+	if len(primary) != 4 {
+		t.Fatalf("series length = %d", len(primary))
+	}
+	// Everything keeps up through two clients; drops appear by the ramp's
+	// end at the post-sift stages.
+	total := 0.0
+	for _, svc := range ServiceNames() {
+		dr := pt.DropRatioSeries(svc, analyticsInterval)
+		if dr[0] > 0.1 {
+			t.Errorf("%s drops %.2f at 1 client", svc, dr[0])
+		}
+		total += dr[3]
+	}
+	if total == 0 {
+		t.Error("no queue drops at 4 clients on E1")
+	}
+	if len(rep.Tables) != 2 {
+		t.Errorf("fig12 tables = %d", len(rep.Tables))
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	res, rep := Headline(testDur)
+	if res.SingleClientFPSGain <= 0 {
+		t.Errorf("single-client FPS gain = %.3f, want positive (paper +9%%)", res.SingleClientFPSGain)
+	}
+	if res.SingleClientSuccessGain <= 0 {
+		t.Errorf("success gain = %.1fpp, want positive (paper +17.6pp)", res.SingleClientSuccessGain)
+	}
+	if res.MultiClientFPSRatio < 2 {
+		t.Errorf("multi-client ratio = %.1fx, want >= 2x (paper 2.5x)", res.MultiClientFPSRatio)
+	}
+	if res.CapacityRatio < 1.5 {
+		t.Errorf("capacity ratio = %.2fx, want >= 1.5x (paper 2.75x)", res.CapacityRatio)
+	}
+	if res.ScatterPPFPSAt4 < 10 || res.ScatterFPSAt4 > 8 {
+		t.Errorf("4-client FPS: scatter %.1f (paper <5), pp %.1f (paper ~12-20)",
+			res.ScatterFPSAt4, res.ScatterPPFPSAt4)
+	}
+	if !strings.Contains(rep.Render(), "capacity") {
+		t.Error("headline report incomplete")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	spec := RunSpec{Name: "det", Mode: core.ModeScatter, Placement: ConfigC1, Clients: 2, Duration: 10 * time.Second, Seed: 77}
+	a := Run(spec)
+	b := Run(spec)
+	if a.Summary.FramesOK != b.Summary.FramesOK || a.Summary.E2EMean != b.Summary.E2EMean {
+		t.Error("identical specs produced different results")
+	}
+}
+
+func TestScaledName(t *testing.T) {
+	if got := ScaledName([wire.NumSteps]int{1, 2, 2, 1, 2}); got != "[1,2,2,1,2]" {
+		t.Errorf("ScaledName = %s", got)
+	}
+	if got := ScaledName([wire.NumSteps]int{0, 0, 0, 0, 0}); got != "[1,1,1,1,1]" {
+		t.Errorf("ScaledName zeros = %s", got)
+	}
+}
+
+func TestServiceNames(t *testing.T) {
+	names := ServiceNames()
+	want := []string{"primary", "sift", "encoding", "lsh", "matching"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	r := Report{
+		ID: "test", Title: "Render test", Notes: "note line",
+		Tables: []Table{{
+			Title:  "t",
+			Header: []string{"a", "bb"},
+			Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		}},
+	}
+	out := r.Render()
+	for _, want := range []string{"== test:", "note line", "-- t --", "333"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := Report{
+		ID: "csvtest",
+		Tables: []Table{
+			{Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}},
+			{Header: []string{"x"}, Rows: [][]string{{"y"}, {"z"}}},
+		},
+	}
+	dir := t.TempDir()
+	paths, err := r.WriteCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a,b\n1,2\n" {
+		t.Errorf("csv content = %q", data)
+	}
+}

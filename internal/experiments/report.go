@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Table is a renderable block of experiment output.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Report is the harness output for one figure: the identifier, what the
+// paper showed, and the regenerated data.
+type Report struct {
+	ID     string // e.g. "fig2"
+	Title  string
+	Notes  string // expectation vs paper, printed under the title
+	Tables []Table
+}
+
+// Render formats the report as aligned plain text.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Notes != "" {
+		for _, line := range strings.Split(strings.TrimSpace(r.Notes), "\n") {
+			fmt.Fprintf(&b, "   %s\n", strings.TrimSpace(line))
+		}
+	}
+	for _, t := range r.Tables {
+		b.WriteString("\n")
+		if t.Title != "" {
+			fmt.Fprintf(&b, "-- %s --\n", t.Title)
+		}
+		b.WriteString(renderTable(t.Header, t.Rows))
+	}
+	return b.String()
+}
+
+// WriteCSV saves each table of the report as a CSV file under dir,
+// named "<report-id>-<index>.csv", and returns the written paths.
+func (r Report) WriteCSV(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: create csv dir: %w", err)
+	}
+	var paths []string
+	for i, t := range r.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%d.csv", r.ID, i+1))
+		f, err := os.Create(path)
+		if err != nil {
+			return paths, fmt.Errorf("experiments: create %s: %w", path, err)
+		}
+		w := csv.NewWriter(f)
+		if err := w.Write(t.Header); err != nil {
+			f.Close()
+			return paths, err
+		}
+		for _, row := range t.Rows {
+			if err := w.Write(row); err != nil {
+				f.Close()
+				return paths, err
+			}
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			f.Close()
+			return paths, err
+		}
+		if err := f.Close(); err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+func renderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Formatting helpers shared by the figure builders.
+
+func fms(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond)) }
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+func gb(bytes int64) string { return fmt.Sprintf("%.2f", float64(bytes)/float64(1<<30)) }

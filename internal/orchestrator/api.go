@@ -1,0 +1,160 @@
+package orchestrator
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// APIServer exposes the root orchestrator over HTTP/JSON — the control
+// plane node agents and operators talk to, mirroring Oakestra's root API.
+//
+//	POST   /api/v1/nodes                  register a worker node
+//	GET    /api/v1/nodes                  list nodes
+//	POST   /api/v1/nodes/{name}/heartbeat ingest telemetry
+//	GET    /api/v1/nodes/{name}/status    last telemetry
+//	POST   /api/v1/apps                   deploy an SLA
+//	GET    /api/v1/apps/{name}            current deployment
+//	DELETE /api/v1/apps/{name}            undeploy
+//	POST   /api/v1/failures/detect        run failure detection
+type APIServer struct {
+	root *Root
+	mux  *http.ServeMux
+	// now is injectable for tests.
+	now func() time.Time
+}
+
+// NewAPIServer wraps a Root with the HTTP control plane.
+func NewAPIServer(root *Root) *APIServer {
+	s := &APIServer{root: root, mux: http.NewServeMux(), now: time.Now}
+	s.mux.HandleFunc("POST /api/v1/nodes", s.registerNode)
+	s.mux.HandleFunc("GET /api/v1/nodes", s.listNodes)
+	s.mux.HandleFunc("POST /api/v1/nodes/{name}/heartbeat", s.heartbeat)
+	s.mux.HandleFunc("GET /api/v1/nodes/{name}/status", s.nodeStatus)
+	s.mux.HandleFunc("POST /api/v1/apps", s.deploy)
+	s.mux.HandleFunc("GET /api/v1/apps/{name}", s.deployment)
+	s.mux.HandleFunc("DELETE /api/v1/apps/{name}", s.undeploy)
+	s.mux.HandleFunc("POST /api/v1/failures/detect", s.detectFailures)
+	return s
+}
+
+// Handler returns the API's HTTP handler.
+func (s *APIServer) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownApp), errors.Is(err, ErrUnknownNode):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrDuplicateApp), errors.Is(err, ErrDuplicateNode):
+		code = http.StatusConflict
+	case errors.Is(err, ErrUnschedulable):
+		code = http.StatusUnprocessableEntity
+	default:
+		// Validation failures map to 400 by default.
+		code = http.StatusBadRequest
+	}
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("orchestrator: decode request: %w", err)
+	}
+	return nil
+}
+
+func (s *APIServer) registerNode(w http.ResponseWriter, r *http.Request) {
+	var info NodeInfo
+	if err := decodeBody(r, &info); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.root.RegisterNode(info, s.now()); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *APIServer) listNodes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.root.Nodes())
+}
+
+func (s *APIServer) heartbeat(w http.ResponseWriter, r *http.Request) {
+	var status NodeStatus
+	if err := decodeBody(r, &status); err != nil {
+		writeError(w, err)
+		return
+	}
+	if status.LastHeartbeat.IsZero() {
+		status.LastHeartbeat = s.now()
+	}
+	if err := s.root.Heartbeat(r.PathValue("name"), status); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *APIServer) nodeStatus(w http.ResponseWriter, r *http.Request) {
+	status, err := s.root.Status(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+func (s *APIServer) deploy(w http.ResponseWriter, r *http.Request) {
+	var sla SLA
+	if err := decodeBody(r, &sla); err != nil {
+		writeError(w, err)
+		return
+	}
+	d, err := s.root.Deploy(sla)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, d)
+}
+
+func (s *APIServer) deployment(w http.ResponseWriter, r *http.Request) {
+	d, err := s.root.Deployment(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (s *APIServer) undeploy(w http.ResponseWriter, r *http.Request) {
+	if err := s.root.Undeploy(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *APIServer) detectFailures(w http.ResponseWriter, r *http.Request) {
+	migrated := s.root.DetectFailures(s.now())
+	if migrated == nil {
+		migrated = []Instance{}
+	}
+	writeJSON(w, http.StatusOK, migrated)
+}

@@ -1,0 +1,89 @@
+package orchestrator
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BestFitScheduler packs replicas onto the fewest feasible nodes: each
+// replica lands on the feasible node with the *least* free memory that
+// still fits (classic best-fit decreasing flavour). Compared to the
+// default SpreadScheduler it trades fault isolation for consolidation —
+// the choice a resource-constrained edge operator might make, and a
+// useful counterpoint in scheduler experiments.
+type BestFitScheduler struct{}
+
+// Place implements Scheduler.
+func (BestFitScheduler) Place(svc ServiceSLA, candidates []*node) ([]*node, error) {
+	r := svc.Requirements
+	var out []*node
+	for replica := 0; replica < svc.Replicas; replica++ {
+		var feasible []*node
+		for _, n := range candidates {
+			if n.feasible(r) {
+				feasible = append(feasible, n)
+			}
+		}
+		if len(feasible) == 0 {
+			return nil, fmt.Errorf("%w: %s replica %d (no feasible node)", ErrUnschedulable, svc.Name, replica)
+		}
+		pinRank := func(n *node) int {
+			for i, m := range r.Machines {
+				if n.info.Name == m {
+					return i
+				}
+			}
+			return len(r.Machines)
+		}
+		sort.SliceStable(feasible, func(i, j int) bool {
+			a, b := feasible[i], feasible[j]
+			if pa, pb := pinRank(a), pinRank(b); pa != pb {
+				return pa < pb
+			}
+			af := a.info.MemBytes - a.reservedMem
+			bf := b.info.MemBytes - b.reservedMem
+			if af != bf {
+				return af < bf // tightest fit first
+			}
+			return a.info.Name < b.info.Name
+		})
+		pick := feasible[0]
+		pick.reservedMem += r.MemBytes
+		out = append(out, pick)
+	}
+	return out, nil
+}
+
+// ClusterResources summarizes a cluster's aggregate capacity and the
+// scheduler's current reservations — the view a cluster orchestrator
+// reports upward to the root in Oakestra's hierarchy.
+type ClusterResources struct {
+	Cluster     string `json:"cluster"`
+	Nodes       int    `json:"nodes"`
+	AliveNodes  int    `json:"alive_nodes"`
+	CPUCores    int    `json:"cpu_cores"`
+	GPUs        int    `json:"gpus"`
+	MemBytes    int64  `json:"mem_bytes"`
+	ReservedMem int64  `json:"reserved_mem"`
+	Instances   int    `json:"instances"`
+}
+
+// ClusterResources returns the aggregate view of one cluster. Unknown
+// clusters return a zero value with the given name.
+func (r *Root) ClusterResources(cluster string) ClusterResources {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := ClusterResources{Cluster: cluster}
+	for _, n := range r.clusters[cluster] {
+		out.Nodes++
+		if n.alive {
+			out.AliveNodes++
+		}
+		out.CPUCores += n.info.CPUCores
+		out.GPUs += n.info.GPUs
+		out.MemBytes += n.info.MemBytes
+		out.ReservedMem += n.reservedMem
+		out.Instances += n.instances
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package orchestrator
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBestFitPacksTightly(t *testing.T) {
+	r := newTestRoot(t, WithScheduler(BestFitScheduler{}))
+	// Two replicas with no pins: best-fit should pack both onto the node
+	// with the least free memory (cloud: 64 GB) instead of spreading.
+	sla := SLA{AppName: "pack", Microservices: []ServiceSLA{{
+		Name: "svc", Image: "x", Replicas: 2,
+		Requirements: Requirements{MemBytes: 1 << 30},
+	}}}
+	d, err := r.Deploy(sla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range d.Instances {
+		if in.Node != "cloud" {
+			t.Errorf("best-fit placed %s on %s, want cloud (tightest fit)", in.Key(), in.Node)
+		}
+	}
+}
+
+func TestBestFitRespectsConstraints(t *testing.T) {
+	r := newTestRoot(t, WithScheduler(BestFitScheduler{}))
+	sla := SLA{AppName: "gpu", Microservices: []ServiceSLA{{
+		Name: "svc", Image: "x", Replicas: 1,
+		Requirements: Requirements{NeedsGPU: true, GPUArchIn: []string{"ampere"}},
+	}}}
+	d, err := r.Deploy(sla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Instances[0].Node != "E2" {
+		t.Errorf("placed on %s, want E2", d.Instances[0].Node)
+	}
+}
+
+func TestBestFitHonoursPins(t *testing.T) {
+	r := newTestRoot(t, WithScheduler(BestFitScheduler{}))
+	sla := SLA{AppName: "pin", Microservices: []ServiceSLA{{
+		Name: "svc", Image: "x", Replicas: 1,
+		Requirements: Requirements{Machines: []string{"E1"}},
+	}}}
+	d, err := r.Deploy(sla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Instances[0].Node != "E1" {
+		t.Errorf("pinned service on %s", d.Instances[0].Node)
+	}
+}
+
+func TestBestFitUnschedulable(t *testing.T) {
+	r := newTestRoot(t, WithScheduler(BestFitScheduler{}))
+	sla := SLA{AppName: "huge", Microservices: []ServiceSLA{{
+		Name: "svc", Image: "x", Replicas: 1,
+		Requirements: Requirements{MemBytes: 1 << 50},
+	}}}
+	if _, err := r.Deploy(sla); err == nil {
+		t.Error("oversized service scheduled")
+	}
+}
+
+func TestClusterResources(t *testing.T) {
+	r := newTestRoot(t)
+	if _, err := r.Deploy(scatterSLA()); err != nil {
+		t.Fatal(err)
+	}
+	edge := r.ClusterResources("edge")
+	if edge.Nodes != 2 || edge.AliveNodes != 2 {
+		t.Errorf("edge nodes = %+v", edge)
+	}
+	if edge.CPUCores != 16+64 || edge.GPUs != 4 {
+		t.Errorf("edge capacity = %+v", edge)
+	}
+	if edge.Instances == 0 || edge.ReservedMem == 0 {
+		t.Errorf("edge reservations missing: %+v", edge)
+	}
+	cloud := r.ClusterResources("cloud")
+	if cloud.Nodes != 1 {
+		t.Errorf("cloud = %+v", cloud)
+	}
+	ghost := r.ClusterResources("nowhere")
+	if ghost.Nodes != 0 || ghost.Cluster != "nowhere" {
+		t.Errorf("ghost = %+v", ghost)
+	}
+	_ = time.Now // keep time import for fixture
+}

@@ -1,0 +1,147 @@
+package orchestrator
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client talks to a root orchestrator's HTTP control plane — what node
+// agents use to register and heartbeat, and operators use to deploy SLAs.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient creates a control-plane client for the given base URL (e.g.
+// "http://orchestrator:8600").
+func NewClient(baseURL string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &Client{
+		base: baseURL,
+		http: &http.Client{Timeout: timeout},
+	}
+}
+
+// apiErr decodes an error payload into a Go error.
+func apiErr(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e apiError
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("orchestrator: %s (%d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("orchestrator: status %d", resp.StatusCode)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("orchestrator: encode request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("orchestrator: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("orchestrator: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return apiErr(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("orchestrator: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// Register adds this node to the orchestrator.
+func (c *Client) Register(ctx context.Context, info NodeInfo) error {
+	return c.do(ctx, http.MethodPost, "/api/v1/nodes", info, nil)
+}
+
+// Heartbeat reports hardware telemetry for a node.
+func (c *Client) Heartbeat(ctx context.Context, nodeName string, status NodeStatus) error {
+	return c.do(ctx, http.MethodPost, "/api/v1/nodes/"+nodeName+"/heartbeat", status, nil)
+}
+
+// Nodes lists the registered nodes.
+func (c *Client) Nodes(ctx context.Context) ([]NodeInfo, error) {
+	var out []NodeInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/nodes", nil, &out)
+	return out, err
+}
+
+// Deploy schedules an SLA and returns the placement.
+func (c *Client) Deploy(ctx context.Context, sla SLA) (*Deployment, error) {
+	var out Deployment
+	if err := c.do(ctx, http.MethodPost, "/api/v1/apps", sla, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// GetDeployment fetches the current instances of an app.
+func (c *Client) GetDeployment(ctx context.Context, app string) (*Deployment, error) {
+	var out Deployment
+	if err := c.do(ctx, http.MethodGet, "/api/v1/apps/"+app, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Undeploy tears an app down.
+func (c *Client) Undeploy(ctx context.Context, app string) error {
+	return c.do(ctx, http.MethodDelete, "/api/v1/apps/"+app, nil, nil)
+}
+
+// StartHeartbeats registers the node and sends telemetry on the interval
+// until ctx is cancelled. status is sampled on every beat. Errors are
+// delivered to onErr (which may be nil).
+func (c *Client) StartHeartbeats(ctx context.Context, info NodeInfo, interval time.Duration,
+	status func() NodeStatus, onErr func(error)) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if status == nil {
+		status = func() NodeStatus { return NodeStatus{} }
+	}
+	if err := c.Register(ctx, info); err != nil {
+		return err
+	}
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				st := status()
+				if st.LastHeartbeat.IsZero() {
+					st.LastHeartbeat = time.Now()
+				}
+				if err := c.Heartbeat(ctx, info.Name, st); err != nil && onErr != nil {
+					onErr(err)
+				}
+			}
+		}
+	}()
+	return nil
+}

@@ -1,0 +1,101 @@
+package orchestrator
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HierarchicalScheduler reproduces Oakestra's two-level placement: the
+// root orchestrator first selects a cluster by aggregate fit (most free
+// aggregate memory among clusters containing at least one feasible
+// node), then delegates node selection within that cluster to an inner
+// scheduler. Replicas repeat the full two-level decision, so they can
+// land in different clusters only when the preferred cluster runs out of
+// feasible nodes.
+type HierarchicalScheduler struct {
+	// Inner picks nodes within the chosen cluster (default
+	// SpreadScheduler).
+	Inner Scheduler
+}
+
+// Place implements Scheduler.
+func (h HierarchicalScheduler) Place(svc ServiceSLA, candidates []*node) ([]*node, error) {
+	inner := h.Inner
+	if inner == nil {
+		inner = SpreadScheduler{}
+	}
+	// Root level: assign each replica a cluster, tracking the memory the
+	// earlier replicas of this call will reserve.
+	adjust := make(map[string]int64)
+	counts := make(map[string]int)
+	var clusterOrder []string
+	for replica := 0; replica < svc.Replicas; replica++ {
+		cluster, err := h.pickCluster(svc, candidates, adjust)
+		if err != nil {
+			return nil, err
+		}
+		if counts[cluster] == 0 {
+			clusterOrder = append(clusterOrder, cluster)
+		}
+		counts[cluster]++
+		adjust[cluster] += svc.Requirements.MemBytes
+	}
+	// Cluster level: delegate batched node selection so the inner
+	// scheduler can spread replicas within the cluster.
+	var out []*node
+	for _, cluster := range clusterOrder {
+		var clusterNodes []*node
+		for _, n := range candidates {
+			if n.info.Cluster == cluster {
+				clusterNodes = append(clusterNodes, n)
+			}
+		}
+		batch := svc
+		batch.Replicas = counts[cluster]
+		placed, err := inner.Place(batch, clusterNodes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, placed...)
+	}
+	return out, nil
+}
+
+// pickCluster returns the cluster with the most aggregate free memory
+// (minus the adjustments this call already committed) among those
+// containing a feasible node. Deterministic: ties break by cluster name.
+func (h HierarchicalScheduler) pickCluster(svc ServiceSLA, candidates []*node, adjust map[string]int64) (string, error) {
+	type agg struct {
+		name     string
+		free     int64
+		feasible bool
+	}
+	byName := make(map[string]*agg)
+	for _, n := range candidates {
+		a, ok := byName[n.info.Cluster]
+		if !ok {
+			a = &agg{name: n.info.Cluster, free: -adjust[n.info.Cluster]}
+			byName[n.info.Cluster] = a
+		}
+		a.free += n.info.MemBytes - n.reservedMem
+		if n.feasible(svc.Requirements) {
+			a.feasible = true
+		}
+	}
+	var clusters []*agg
+	for _, a := range byName {
+		if a.feasible {
+			clusters = append(clusters, a)
+		}
+	}
+	if len(clusters) == 0 {
+		return "", fmt.Errorf("%w: %s (no cluster has a feasible node)", ErrUnschedulable, svc.Name)
+	}
+	sort.Slice(clusters, func(i, j int) bool {
+		if clusters[i].free != clusters[j].free {
+			return clusters[i].free > clusters[j].free
+		}
+		return clusters[i].name < clusters[j].name
+	})
+	return clusters[0].name, nil
+}

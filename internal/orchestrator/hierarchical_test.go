@@ -1,0 +1,87 @@
+package orchestrator
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestHierarchicalPrefersRoomiestCluster(t *testing.T) {
+	r := newTestRoot(t, WithScheduler(HierarchicalScheduler{}))
+	// No constraints: the edge cluster (128+264 GB free) beats the cloud
+	// cluster (64 GB).
+	sla := SLA{AppName: "a", Microservices: []ServiceSLA{{
+		Name: "svc", Image: "x", Replicas: 1, Requirements: Requirements{MemBytes: 1 << 30},
+	}}}
+	d, err := r.Deploy(sla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := d.Instances[0].Node
+	if node != "E1" && node != "E2" {
+		t.Errorf("placed on %s, want an edge node", node)
+	}
+}
+
+func TestHierarchicalRespectsClusterConstraint(t *testing.T) {
+	r := newTestRoot(t, WithScheduler(HierarchicalScheduler{}))
+	sla := SLA{AppName: "c", Microservices: []ServiceSLA{{
+		Name: "svc", Image: "x", Replicas: 1,
+		Requirements: Requirements{Clusters: []string{"cloud"}},
+	}}}
+	d, err := r.Deploy(sla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Instances[0].Node != "cloud" {
+		t.Errorf("placed on %s, want cloud", d.Instances[0].Node)
+	}
+}
+
+func TestHierarchicalSpreadsWithinCluster(t *testing.T) {
+	r := newTestRoot(t, WithScheduler(HierarchicalScheduler{}))
+	sla := SLA{AppName: "s", Microservices: []ServiceSLA{{
+		Name: "svc", Image: "x", Replicas: 2,
+		Requirements: Requirements{NeedsGPU: true, Clusters: []string{"edge"}},
+	}}}
+	d, err := r.Deploy(sla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := map[string]bool{}
+	for _, in := range d.Instances {
+		nodes[in.Node] = true
+	}
+	if len(nodes) != 2 {
+		t.Errorf("replicas on %v, want spread across the edge cluster", nodes)
+	}
+}
+
+func TestHierarchicalUnschedulable(t *testing.T) {
+	r := newTestRoot(t, WithScheduler(HierarchicalScheduler{}))
+	sla := SLA{AppName: "u", Microservices: []ServiceSLA{{
+		Name: "svc", Image: "x", Replicas: 1,
+		Requirements: Requirements{GPUArchIn: []string{"hopper"}, NeedsGPU: true},
+	}}}
+	if _, err := r.Deploy(sla); !errors.Is(err, ErrUnschedulable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHierarchicalCustomInner(t *testing.T) {
+	r := newTestRoot(t, WithScheduler(HierarchicalScheduler{Inner: BestFitScheduler{}}))
+	// Best-fit within the edge cluster packs onto E1 (less free memory
+	// than E2).
+	sla := SLA{AppName: "bf", Microservices: []ServiceSLA{{
+		Name: "svc", Image: "x", Replicas: 2,
+		Requirements: Requirements{Clusters: []string{"edge"}, MemBytes: 1 << 30},
+	}}}
+	d, err := r.Deploy(sla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range d.Instances {
+		if in.Node != "E1" {
+			t.Errorf("best-fit inner placed %s on %s, want E1", in.Key(), in.Node)
+		}
+	}
+}

@@ -1,0 +1,432 @@
+package orchestrator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Hooks notify the runtime about instance lifecycle transitions so it can
+// actually start/stop workers (node agents in real deployments, simulated
+// instances in the testbed). Hooks may be nil.
+type Hooks struct {
+	// OnSchedule fires when an instance is placed on a node.
+	OnSchedule func(Instance)
+	// OnRemove fires when an instance is torn down (undeploy or node
+	// failure).
+	OnRemove func(Instance)
+}
+
+// Root is the root orchestrator: the top of the Oakestra hierarchy. It is
+// safe for concurrent use.
+type Root struct {
+	mu        sync.Mutex
+	clusters  map[string]map[string]*node // cluster -> node name -> node
+	nodes     map[string]*node
+	deployed  map[string]*appState // app -> state
+	scheduler Scheduler
+	hooks     Hooks
+	// HeartbeatTimeout marks nodes dead when exceeded (default 3 s).
+	heartbeatTimeout time.Duration
+}
+
+type appState struct {
+	sla       SLA
+	instances map[string]*Instance // key -> instance
+	balancers map[string]*RoundRobin
+}
+
+// Option configures a Root.
+type Option func(*Root)
+
+// WithScheduler overrides the default SpreadScheduler.
+func WithScheduler(s Scheduler) Option { return func(r *Root) { r.scheduler = s } }
+
+// WithHooks installs lifecycle hooks.
+func WithHooks(h Hooks) Option { return func(r *Root) { r.hooks = h } }
+
+// WithHeartbeatTimeout overrides the failure-detection window.
+func WithHeartbeatTimeout(d time.Duration) Option {
+	return func(r *Root) { r.heartbeatTimeout = d }
+}
+
+// NewRoot creates a root orchestrator.
+func NewRoot(opts ...Option) *Root {
+	r := &Root{
+		clusters:         make(map[string]map[string]*node),
+		nodes:            make(map[string]*node),
+		deployed:         make(map[string]*appState),
+		scheduler:        SpreadScheduler{},
+		heartbeatTimeout: 3 * time.Second,
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Errors returned by Root operations.
+var (
+	ErrDuplicateNode = errors.New("orchestrator: duplicate node")
+	ErrUnknownNode   = errors.New("orchestrator: unknown node")
+	ErrDuplicateApp  = errors.New("orchestrator: app already deployed")
+	ErrUnknownApp    = errors.New("orchestrator: unknown app")
+)
+
+// RegisterNode adds a worker node under its cluster orchestrator,
+// creating the cluster on first use (clusters in Oakestra register with
+// the root dynamically).
+func (r *Root) RegisterNode(info NodeInfo, now time.Time) error {
+	if err := info.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[info.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateNode, info.Name)
+	}
+	n := &node{info: info, alive: true, status: NodeStatus{LastHeartbeat: now}}
+	r.nodes[info.Name] = n
+	cl, ok := r.clusters[info.Cluster]
+	if !ok {
+		cl = make(map[string]*node)
+		r.clusters[info.Cluster] = cl
+	}
+	cl[info.Name] = n
+	return nil
+}
+
+// Clusters returns the cluster names, sorted.
+func (r *Root) Clusters() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.clusters))
+	for c := range r.clusters {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Nodes returns the registered node infos, sorted by name.
+func (r *Root) Nodes() []NodeInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]NodeInfo, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		out = append(out, n.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// candidatesLocked returns scheduling candidates in deterministic order.
+func (r *Root) candidatesLocked() []*node {
+	names := make([]string, 0, len(r.nodes))
+	for name := range r.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*node, 0, len(names))
+	for _, name := range names {
+		out = append(out, r.nodes[name])
+	}
+	return out
+}
+
+// Deploy schedules every microservice of the SLA, fires OnSchedule hooks,
+// and returns the deployment. Scheduling is all-or-nothing: on failure no
+// instance is retained.
+func (r *Root) Deploy(sla SLA) (*Deployment, error) {
+	if err := sla.Validate(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if _, ok := r.deployed[sla.AppName]; ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateApp, sla.AppName)
+	}
+	candidates := r.candidatesLocked()
+	state := &appState{
+		sla:       sla,
+		instances: make(map[string]*Instance),
+		balancers: make(map[string]*RoundRobin),
+	}
+	var placed []Instance
+	var reservations []func() // rollbacks
+	fail := func(err error) (*Deployment, error) {
+		for _, undo := range reservations {
+			undo()
+		}
+		r.mu.Unlock()
+		return nil, err
+	}
+	for _, svc := range sla.Microservices {
+		nodes, err := r.scheduler.Place(svc, candidates)
+		if err != nil {
+			return fail(err)
+		}
+		if len(nodes) != svc.Replicas {
+			return fail(fmt.Errorf("orchestrator: scheduler returned %d placements for %d replicas of %s",
+				len(nodes), svc.Replicas, svc.Name))
+		}
+		for replica, n := range nodes {
+			n.instances++
+			mem := svc.Requirements.MemBytes
+			n := n
+			reservations = append(reservations, func() {
+				n.instances--
+				n.reservedMem -= mem
+			})
+			inst := Instance{
+				App:     sla.AppName,
+				Service: svc.Name,
+				Replica: replica,
+				Node:    n.info.Name,
+				State:   StateRunning,
+			}
+			placed = append(placed, inst)
+		}
+	}
+	for i := range placed {
+		inst := placed[i]
+		state.instances[inst.Key()] = &placed[i]
+	}
+	r.deployed[sla.AppName] = state
+	r.mu.Unlock()
+
+	if r.hooks.OnSchedule != nil {
+		for _, inst := range placed {
+			r.hooks.OnSchedule(inst)
+		}
+	}
+	return &Deployment{App: sla.AppName, Instances: placed}, nil
+}
+
+// Undeploy tears down an application, firing OnRemove for each instance.
+func (r *Root) Undeploy(app string) error {
+	r.mu.Lock()
+	state, ok := r.deployed[app]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownApp, app)
+	}
+	delete(r.deployed, app)
+	var removed []Instance
+	for _, inst := range state.instances {
+		removed = append(removed, *inst)
+		if n, ok := r.nodes[inst.Node]; ok {
+			n.instances--
+			n.reservedMem -= r.memOfLocked(state.sla, inst.Service)
+		}
+	}
+	r.mu.Unlock()
+	if r.hooks.OnRemove != nil {
+		sort.Slice(removed, func(i, j int) bool { return removed[i].Key() < removed[j].Key() })
+		for _, inst := range removed {
+			r.hooks.OnRemove(inst)
+		}
+	}
+	return nil
+}
+
+func (r *Root) memOfLocked(sla SLA, service string) int64 {
+	for _, ms := range sla.Microservices {
+		if ms.Name == service {
+			return ms.Requirements.MemBytes
+		}
+	}
+	return 0
+}
+
+// Heartbeat ingests a node's telemetry report.
+func (r *Root) Heartbeat(nodeName string, status NodeStatus) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[nodeName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, nodeName)
+	}
+	n.status = status
+	n.alive = true
+	return nil
+}
+
+// Status returns the last known hardware telemetry of a node.
+func (r *Root) Status(nodeName string) (NodeStatus, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.nodes[nodeName]
+	if !ok {
+		return NodeStatus{}, fmt.Errorf("%w: %s", ErrUnknownNode, nodeName)
+	}
+	return n.status, nil
+}
+
+// Deployment returns the current instances of an app.
+func (r *Root) Deployment(app string) (*Deployment, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	state, ok := r.deployed[app]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownApp, app)
+	}
+	d := &Deployment{App: app}
+	for _, inst := range state.instances {
+		d.Instances = append(d.Instances, *inst)
+	}
+	sort.Slice(d.Instances, func(i, j int) bool { return d.Instances[i].Key() < d.Instances[j].Key() })
+	return d, nil
+}
+
+// DetectFailures marks nodes whose heartbeat is older than the timeout as
+// dead and re-schedules their instances elsewhere (Oakestra's automatic
+// service recovery). It returns the migrated instances (new placements).
+func (r *Root) DetectFailures(now time.Time) []Instance {
+	r.mu.Lock()
+	var dead []*node
+	for _, n := range r.nodes {
+		if n.alive && now.Sub(n.status.LastHeartbeat) > r.heartbeatTimeout {
+			n.alive = false
+			dead = append(dead, n)
+		}
+	}
+	if len(dead) == 0 {
+		r.mu.Unlock()
+		return nil
+	}
+	deadNames := make(map[string]bool, len(dead))
+	for _, n := range dead {
+		deadNames[n.info.Name] = true
+	}
+	type migration struct {
+		old  Instance
+		inst *Instance
+		svc  ServiceSLA
+	}
+	var migrations []migration
+	// Deterministic app order.
+	apps := make([]string, 0, len(r.deployed))
+	for app := range r.deployed {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		state := r.deployed[app]
+		keys := make([]string, 0, len(state.instances))
+		for k := range state.instances {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			inst := state.instances[k]
+			if !deadNames[inst.Node] {
+				continue
+			}
+			var svc ServiceSLA
+			for _, ms := range state.sla.Microservices {
+				if ms.Name == inst.Service {
+					svc = ms
+					break
+				}
+			}
+			migrations = append(migrations, migration{old: *inst, inst: inst, svc: svc})
+		}
+	}
+	candidates := r.candidatesLocked()
+	var migrated []Instance
+	var removedOld []Instance
+	for _, m := range migrations {
+		// Release the dead node's bookkeeping.
+		if n, ok := r.nodes[m.old.Node]; ok {
+			n.instances--
+			n.reservedMem -= m.svc.Requirements.MemBytes
+		}
+		one := m.svc
+		one.Replicas = 1
+		nodes, err := r.scheduler.Place(one, candidates)
+		if err != nil {
+			m.inst.State = StateFailed
+			continue
+		}
+		n := nodes[0]
+		n.instances++
+		m.inst.Node = n.info.Name
+		m.inst.State = StateRunning
+		removedOld = append(removedOld, m.old)
+		migrated = append(migrated, *m.inst)
+	}
+	r.mu.Unlock()
+	if r.hooks.OnRemove != nil {
+		for _, inst := range removedOld {
+			r.hooks.OnRemove(inst)
+		}
+	}
+	if r.hooks.OnSchedule != nil {
+		for _, inst := range migrated {
+			r.hooks.OnSchedule(inst)
+		}
+	}
+	return migrated
+}
+
+// Balancer returns the round-robin semantic-address balancer for one
+// microservice of a deployed app. Balancers are cached per service so
+// rotation state persists across calls.
+func (r *Root) Balancer(app, service string) (*RoundRobin, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	state, ok := r.deployed[app]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownApp, app)
+	}
+	if b, ok := state.balancers[service]; ok {
+		return b, nil
+	}
+	var insts []Instance
+	for _, inst := range state.instances {
+		if inst.Service == service {
+			insts = append(insts, *inst)
+		}
+	}
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("orchestrator: app %s has no service %s", app, service)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i].Replica < insts[j].Replica })
+	b := NewRoundRobin(insts)
+	state.balancers[service] = b
+	return b, nil
+}
+
+// RoundRobin rotates over a microservice's replicas — Oakestra's semantic
+// addressing (a ServiceIP that balances across instances). Safe for
+// concurrent use.
+type RoundRobin struct {
+	mu    sync.Mutex
+	insts []Instance
+	next  int
+}
+
+// NewRoundRobin builds a balancer over instances (order preserved).
+func NewRoundRobin(insts []Instance) *RoundRobin {
+	cp := append([]Instance(nil), insts...)
+	return &RoundRobin{insts: cp}
+}
+
+// Next returns the next instance in rotation.
+func (b *RoundRobin) Next() Instance {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	inst := b.insts[b.next%len(b.insts)]
+	b.next++
+	return inst
+}
+
+// Len returns the number of balanced replicas.
+func (b *RoundRobin) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.insts)
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"os"
+
+	"github.com/edge-mar/scatter/internal/vision/imgproc"
+)
+
+// WritePNG saves an RGB frame as a PNG file — handy for inspecting the
+// synthetic clip and debugging recognition.
+func WritePNG(img *imgproc.RGB, path string) error {
+	out := image.NewRGBA(image.Rect(0, 0, img.W, img.H))
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			r, g, b := img.AtRGB(x, y)
+			out.SetRGBA(x, y, color.RGBA{R: r, G: g, B: b, A: 255})
+		}
+	}
+	return encodePNG(out, path)
+}
+
+// WriteGrayPNG saves a grayscale image as a PNG file.
+func WriteGrayPNG(img *imgproc.Gray, path string) error {
+	out := image.NewGray(image.Rect(0, 0, img.W, img.H))
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			v := img.At(x, y)
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			out.SetGray(x, y, color.Gray{Y: uint8(v*255 + 0.5)})
+		}
+	}
+	return encodePNG(out, path)
+}
+
+func encodePNG(img image.Image, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	if err := png.Encode(f, img); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: encode %s: %w", path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,196 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPConn is a framed, connection-oriented message endpoint: the
+// "improved network protocol" alternative the paper's A.1.2 suggests in
+// place of raw UDP. Messages are length-prefixed (u32 big-endian) on
+// persistent connections; outbound connections are dialed on demand,
+// pooled per destination, and re-dialed once after a write failure.
+// Unlike the UDP endpoint, delivery is reliable and ordered per peer —
+// losses become latency instead of missing frames.
+type TCPConn struct {
+	ln      net.Listener
+	handler Handler
+
+	mu      sync.Mutex
+	peers   map[string]*tcpPeer
+	inbound map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type tcpPeer struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// tcpDialTimeout bounds on-demand connection establishment.
+const tcpDialTimeout = 3 * time.Second
+
+// ListenTCP binds a framed TCP endpoint on addr and delivers inbound
+// messages to handler.
+func ListenTCP(addr string, handler Handler) (*TCPConn, error) {
+	if handler == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen tcp %s: %w", addr, err)
+	}
+	c := &TCPConn{
+		ln:      ln,
+		handler: handler,
+		peers:   make(map[string]*tcpPeer),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// LocalAddr implements Endpoint.
+func (c *TCPConn) LocalAddr() string { return c.ln.Addr().String() }
+
+// Close implements Endpoint.
+func (c *TCPConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	peers := make([]*tcpPeer, 0, len(c.peers))
+	for _, p := range c.peers {
+		peers = append(peers, p)
+	}
+	inbound := make([]net.Conn, 0, len(c.inbound))
+	for conn := range c.inbound {
+		inbound = append(inbound, conn)
+	}
+	c.mu.Unlock()
+	err := c.ln.Close()
+	for _, p := range peers {
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+		}
+		p.mu.Unlock()
+	}
+	for _, conn := range inbound {
+		conn.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+func (c *TCPConn) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.inbound[conn] = struct{}{}
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.readLoop(conn)
+	}
+}
+
+func (c *TCPConn) readLoop(conn net.Conn) {
+	defer c.wg.Done()
+	defer func() {
+		conn.Close()
+		c.mu.Lock()
+		delete(c.inbound, conn)
+		c.mu.Unlock()
+	}()
+	r := bufio.NewReaderSize(conn, 1<<20)
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxMessage {
+			return // corrupt stream; drop the connection
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return
+		}
+		c.handler(data, conn.RemoteAddr())
+	}
+}
+
+// SendToAddr implements Endpoint: it frames data onto a pooled connection
+// to addr, re-dialing once if the cached connection has gone stale.
+func (c *TCPConn) SendToAddr(addr string, data []byte) error {
+	if len(data) > maxMessage {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(data))
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	peer, ok := c.peers[addr]
+	if !ok {
+		peer = &tcpPeer{}
+		c.peers[addr] = peer
+	}
+	c.mu.Unlock()
+
+	peer.mu.Lock()
+	defer peer.mu.Unlock()
+	if err := peer.writeLocked(addr, data); err != nil {
+		// One reconnect attempt: the peer may have restarted.
+		peer.resetLocked()
+		if err := peer.writeLocked(addr, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *tcpPeer) resetLocked() {
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+}
+
+func (p *tcpPeer) writeLocked(addr string, data []byte) error {
+	if p.conn == nil {
+		conn, err := net.DialTimeout("tcp", addr, tcpDialTimeout)
+		if err != nil {
+			return fmt.Errorf("transport: dial tcp %s: %w", addr, err)
+		}
+		p.conn = conn
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	if _, err := p.conn.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("transport: write to %s: %w", addr, err)
+	}
+	if _, err := p.conn.Write(data); err != nil {
+		return fmt.Errorf("transport: write to %s: %w", addr, err)
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func tcpPair(t *testing.T) (a *TCPConn, b *TCPConn, recv chan []byte) {
+	t.Helper()
+	recv = make(chan []byte, 64)
+	var err error
+	b, err = ListenTCP("127.0.0.1:0", func(data []byte, from net.Addr) {
+		recv <- append([]byte(nil), data...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err = ListenTCP("127.0.0.1:0", func([]byte, net.Addr) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b, recv
+}
+
+func TestTCPSmallMessage(t *testing.T) {
+	a, b, recv := tcpPair(t)
+	if err := a.SendToAddr(b.LocalAddr(), []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitMsg(t, recv); string(got) != "over tcp" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	a, b, recv := tcpPair(t)
+	msg := make([]byte, 480<<10) // the scAtteR++ stateless frame size
+	for i := range msg {
+		msg[i] = byte(i * 17)
+	}
+	if err := a.SendToAddr(b.LocalAddr(), msg); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitMsg(t, recv); !bytes.Equal(got, msg) {
+		t.Fatal("large message corrupted")
+	}
+}
+
+func TestTCPOrderedDelivery(t *testing.T) {
+	a, b, recv := tcpPair(t)
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := a.SendToAddr(b.LocalAddr(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// TCP preserves per-peer ordering — unlike UDP.
+	for i := 0; i < n; i++ {
+		got := waitMsg(t, recv)
+		if got[0] != byte(i) {
+			t.Fatalf("message %d arrived out of order: %d", i, got[0])
+		}
+	}
+}
+
+func TestTCPConnectionReuse(t *testing.T) {
+	a, b, recv := tcpPair(t)
+	for i := 0; i < 5; i++ {
+		if err := a.SendToAddr(b.LocalAddr(), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		waitMsg(t, recv)
+	}
+	a.mu.Lock()
+	peers := len(a.peers)
+	a.mu.Unlock()
+	if peers != 1 {
+		t.Errorf("peers = %d, want 1 pooled connection", peers)
+	}
+}
+
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	a, b, recv := tcpPair(t)
+	addr := b.LocalAddr()
+	if err := a.SendToAddr(addr, []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	waitMsg(t, recv)
+	// Restart the receiver on the same port.
+	b.Close()
+	b2, err := ListenTCP(addr, func(data []byte, from net.Addr) {
+		recv <- append([]byte(nil), data...)
+	})
+	if err != nil {
+		t.Skipf("port not immediately reusable: %v", err)
+	}
+	defer b2.Close()
+	// The pooled connection is stale; SendToAddr must re-dial.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := a.SendToAddr(addr, []byte("2")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never reconnected")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := waitMsg(t, recv); string(got) != "2" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	a, b, _ := tcpPair(t)
+	a.Close()
+	if err := a.SendToAddr(b.LocalAddr(), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestTCPTooLarge(t *testing.T) {
+	a, b, _ := tcpPair(t)
+	if err := a.SendToAddr(b.LocalAddr(), make([]byte, maxMessage+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTCPNilHandler(t *testing.T) {
+	if _, err := ListenTCP("127.0.0.1:0", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestTCPDialFailure(t *testing.T) {
+	a, _, _ := tcpPair(t)
+	if err := a.SendToAddr("127.0.0.1:1", []byte("x")); err == nil {
+		t.Error("send to closed port succeeded")
+	}
+}
+
+func TestTCPCorruptStreamDropsConnection(t *testing.T) {
+	_, b, recv := tcpPair(t)
+	raw, err := net.Dial("tcp", b.LocalAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// A length prefix far beyond maxMessage must drop the stream.
+	raw.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	raw.Write([]byte("junk"))
+	select {
+	case m := <-recv:
+		t.Errorf("corrupt stream delivered %q", m)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestTCPConcurrentSenders(t *testing.T) {
+	recv := make(chan []byte, 256)
+	b, err := ListenTCP("127.0.0.1:0", func(data []byte, from net.Addr) {
+		recv <- append([]byte(nil), data...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	const senders, perSender = 4, 20
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			a, err := ListenTCP("127.0.0.1:0", func([]byte, net.Addr) {})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer a.Close()
+			for i := 0; i < perSender; i++ {
+				if err := a.SendToAddr(b.LocalAddr(), bytes.Repeat([]byte{byte(s)}, 10_000)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	timeout := time.After(3 * time.Second)
+	for got := 0; got < senders*perSender; got++ {
+		select {
+		case <-recv:
+		case <-timeout:
+			t.Fatalf("received %d/%d", got, senders*perSender)
+		}
+	}
+}
+
+// Both endpoint types satisfy the shared interface.
+func TestEndpointInterface(t *testing.T) {
+	var _ Endpoint = (*Conn)(nil)
+	var _ Endpoint = (*TCPConn)(nil)
+}
+
+func BenchmarkTCPSend180KB(b *testing.B) {
+	done := make(chan struct{}, 1024)
+	dst, err := ListenTCP("127.0.0.1:0", func(data []byte, from net.Addr) {
+		done <- struct{}{}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dst.Close()
+	src, err := ListenTCP("127.0.0.1:0", func([]byte, net.Addr) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	msg := make([]byte, 180<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.SendToAddr(dst.LocalAddr(), msg); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+}

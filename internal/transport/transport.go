@@ -1,0 +1,258 @@
+// Package transport provides the UDP datagram transport scAtteR services
+// use for inter-service frame exchange. Application frames (≈180 KB, up
+// to ≈480 KB when sift state rides along in scAtteR++) exceed a UDP
+// datagram, so messages are fragmented into chunks and reassembled at the
+// receiver; losing any fragment loses the whole message, matching UDP's
+// all-or-nothing frame semantics in the paper's testbed.
+//
+// Fragment header (big-endian): magic u16 | msgID u64 | index u16 |
+// total u16, followed by the chunk. Partial messages are garbage
+// collected after a reassembly timeout.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+const (
+	fragMagic  = 0xF27A
+	headerLen  = 2 + 8 + 2 + 2
+	maxChunk   = 60_000 // stays under the 64 KiB UDP limit with headers
+	maxMessage = 32 << 20
+)
+
+// ReassemblyTimeout is how long a partial message waits for fragments.
+const ReassemblyTimeout = 2 * time.Second
+
+// Errors.
+var (
+	ErrTooLarge = errors.New("transport: message too large")
+	ErrClosed   = errors.New("transport: closed")
+)
+
+// Handler receives a fully reassembled message. from is the sender's
+// address (UDP or TCP depending on the endpoint).
+type Handler func(data []byte, from net.Addr)
+
+// Endpoint abstracts the message transports service workers use: the
+// fragmenting UDP transport (the paper's baseline) and the framed TCP
+// transport (the "improved network protocol" alternative of A.1.2).
+type Endpoint interface {
+	// LocalAddr returns the bound address as "host:port".
+	LocalAddr() string
+	// SendToAddr delivers one message to the destination address.
+	SendToAddr(addr string, data []byte) error
+	Close() error
+}
+
+// Conn is a UDP endpoint that sends and receives fragmented messages.
+type Conn struct {
+	pc      *net.UDPConn
+	handler Handler
+
+	mu     sync.Mutex
+	nextID uint64
+	reasm  map[reasmKey]*partial
+	closed bool
+	done   chan struct{}
+}
+
+type reasmKey struct {
+	from  string
+	msgID uint64
+}
+
+type partial struct {
+	chunks   [][]byte
+	received int
+	total    int
+	deadline time.Time
+}
+
+// Listen binds a UDP endpoint on addr ("host:port", port 0 for
+// ephemeral) and starts delivering reassembled messages to handler.
+func Listen(addr string, handler Handler) (*Conn, error) {
+	if handler == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %s: %w", addr, err)
+	}
+	pc, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	// Large buffers absorb multi-fragment bursts; errors are advisory.
+	_ = pc.SetReadBuffer(8 << 20)
+	_ = pc.SetWriteBuffer(8 << 20)
+	c := &Conn{
+		pc:      pc,
+		handler: handler,
+		reasm:   make(map[reasmKey]*partial),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	go c.gcLoop()
+	return c, nil
+}
+
+// Addr returns the bound UDP address.
+func (c *Conn) Addr() *net.UDPAddr { return c.pc.LocalAddr().(*net.UDPAddr) }
+
+// LocalAddr implements Endpoint.
+func (c *Conn) LocalAddr() string { return c.pc.LocalAddr().String() }
+
+// Close stops the endpoint.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.done)
+	c.mu.Unlock()
+	return c.pc.Close()
+}
+
+// SendTo fragments data and transmits it to the destination address.
+func (c *Conn) SendTo(dst *net.UDPAddr, data []byte) error {
+	if len(data) > maxMessage {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(data))
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	id := c.nextID
+	c.nextID++
+	c.mu.Unlock()
+
+	total := (len(data) + maxChunk - 1) / maxChunk
+	if total == 0 {
+		total = 1
+	}
+	buf := make([]byte, 0, headerLen+maxChunk)
+	for idx := 0; idx < total; idx++ {
+		lo := idx * maxChunk
+		hi := lo + maxChunk
+		if hi > len(data) {
+			hi = len(data)
+		}
+		buf = buf[:0]
+		buf = binary.BigEndian.AppendUint16(buf, fragMagic)
+		buf = binary.BigEndian.AppendUint64(buf, id)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(idx))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(total))
+		buf = append(buf, data[lo:hi]...)
+		if _, err := c.pc.WriteToUDP(buf, dst); err != nil {
+			return fmt.Errorf("transport: send to %s: %w", dst, err)
+		}
+	}
+	return nil
+}
+
+// SendToAddr resolves a "host:port" destination and sends.
+func (c *Conn) SendToAddr(addr string, data []byte) error {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolve %s: %w", addr, err)
+	}
+	return c.SendTo(udpAddr, data)
+}
+
+func (c *Conn) readLoop() {
+	buf := make([]byte, headerLen+maxChunk+1024)
+	for {
+		n, from, err := c.pc.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		c.ingest(buf[:n], from)
+	}
+}
+
+func (c *Conn) ingest(pkt []byte, from *net.UDPAddr) {
+	if len(pkt) < headerLen {
+		return
+	}
+	if binary.BigEndian.Uint16(pkt) != fragMagic {
+		return
+	}
+	msgID := binary.BigEndian.Uint64(pkt[2:])
+	idx := int(binary.BigEndian.Uint16(pkt[10:]))
+	total := int(binary.BigEndian.Uint16(pkt[12:]))
+	if total == 0 || idx >= total || total*maxChunk > maxMessage+maxChunk {
+		return
+	}
+	chunk := append([]byte(nil), pkt[headerLen:]...)
+
+	if total == 1 {
+		c.handler(chunk, from)
+		return
+	}
+	key := reasmKey{from: from.String(), msgID: msgID}
+	c.mu.Lock()
+	p, ok := c.reasm[key]
+	if !ok {
+		p = &partial{chunks: make([][]byte, total), total: total, deadline: time.Now().Add(ReassemblyTimeout)}
+		c.reasm[key] = p
+	}
+	if p.total != total || p.chunks[idx] != nil {
+		c.mu.Unlock()
+		return // duplicate or inconsistent fragment
+	}
+	p.chunks[idx] = chunk
+	p.received++
+	complete := p.received == p.total
+	if complete {
+		delete(c.reasm, key)
+	}
+	c.mu.Unlock()
+	if !complete {
+		return
+	}
+	size := 0
+	for _, ch := range p.chunks {
+		size += len(ch)
+	}
+	data := make([]byte, 0, size)
+	for _, ch := range p.chunks {
+		data = append(data, ch...)
+	}
+	c.handler(data, from)
+}
+
+func (c *Conn) gcLoop() {
+	ticker := time.NewTicker(ReassemblyTimeout / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case now := <-ticker.C:
+			c.mu.Lock()
+			for key, p := range c.reasm {
+				if now.After(p.deadline) {
+					delete(c.reasm, key)
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// PendingReassemblies reports the number of incomplete messages (for
+// tests and monitoring).
+func (c *Conn) PendingReassemblies() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.reasm)
+}

@@ -1,0 +1,272 @@
+// Package imgproc provides the image-processing substrate used by the
+// scAtteR vision services: grayscale float images, separable Gaussian
+// filtering, bilinear resampling, and gradient computation.
+//
+// All operations work on Gray, a float32 single-channel image with values
+// nominally in [0, 1]. The representation is row-major with no padding so
+// that pyramid levels and scratch buffers can be pooled and reused.
+package imgproc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gray is a single-channel float32 image. Pixel (x, y) is stored at
+// Pix[y*W+x]. Values are nominally in [0, 1] but intermediate results
+// (for example difference-of-Gaussian responses) may leave that range.
+type Gray struct {
+	W, H int
+	Pix  []float32
+}
+
+// NewGray allocates a zeroed w×h image. It panics if either dimension is
+// not positive, since a zero-sized image is always a programming error in
+// this codebase.
+func NewGray(w, h int) *Gray {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imgproc: invalid image size %dx%d", w, h))
+	}
+	return &Gray{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// At returns the pixel at (x, y). Out-of-bounds coordinates are clamped to
+// the image border, which is the boundary handling used by every filter in
+// this package.
+func (g *Gray) At(x, y int) float32 {
+	if x < 0 {
+		x = 0
+	} else if x >= g.W {
+		x = g.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= g.H {
+		y = g.H - 1
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set writes the pixel at (x, y). Out-of-bounds writes are ignored.
+func (g *Gray) Set(x, y int, v float32) {
+	if x < 0 || x >= g.W || y < 0 || y >= g.H {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// Clone returns a deep copy of the image.
+func (g *Gray) Clone() *Gray {
+	out := NewGray(g.W, g.H)
+	copy(out.Pix, g.Pix)
+	return out
+}
+
+// BilinearAt samples the image at a sub-pixel location with bilinear
+// interpolation, clamping at the borders.
+func (g *Gray) BilinearAt(x, y float64) float32 {
+	x0 := int(math.Floor(x))
+	y0 := int(math.Floor(y))
+	fx := float32(x - float64(x0))
+	fy := float32(y - float64(y0))
+	v00 := g.At(x0, y0)
+	v10 := g.At(x0+1, y0)
+	v01 := g.At(x0, y0+1)
+	v11 := g.At(x0+1, y0+1)
+	top := v00 + fx*(v10-v00)
+	bot := v01 + fx*(v11-v01)
+	return top + fy*(bot-top)
+}
+
+// GaussianKernel returns a normalized 1-D Gaussian kernel for the given
+// sigma. The radius is ceil(3*sigma), which captures >99.7% of the mass.
+// sigma must be positive.
+func GaussianKernel(sigma float64) []float32 {
+	if sigma <= 0 {
+		panic("imgproc: sigma must be positive")
+	}
+	radius := int(math.Ceil(3 * sigma))
+	if radius < 1 {
+		radius = 1
+	}
+	k := make([]float32, 2*radius+1)
+	sum := float32(0)
+	inv := -1 / (2 * sigma * sigma)
+	for i := -radius; i <= radius; i++ {
+		v := float32(math.Exp(float64(i*i) * inv))
+		k[i+radius] = v
+		sum += v
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// convolveH convolves src horizontally with kernel k into dst. dst and src
+// must have identical dimensions and must not alias.
+func convolveH(dst, src *Gray, k []float32) {
+	radius := len(k) / 2
+	for y := 0; y < src.H; y++ {
+		row := src.Pix[y*src.W : (y+1)*src.W]
+		for x := 0; x < src.W; x++ {
+			var acc float32
+			for i := -radius; i <= radius; i++ {
+				xx := x + i
+				if xx < 0 {
+					xx = 0
+				} else if xx >= src.W {
+					xx = src.W - 1
+				}
+				acc += row[xx] * k[i+radius]
+			}
+			dst.Pix[y*src.W+x] = acc
+		}
+	}
+}
+
+// convolveV convolves src vertically with kernel k into dst. dst and src
+// must have identical dimensions and must not alias.
+func convolveV(dst, src *Gray, k []float32) {
+	radius := len(k) / 2
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			var acc float32
+			for i := -radius; i <= radius; i++ {
+				yy := y + i
+				if yy < 0 {
+					yy = 0
+				} else if yy >= src.H {
+					yy = src.H - 1
+				}
+				acc += src.Pix[yy*src.W+x] * k[i+radius]
+			}
+			dst.Pix[y*src.W+x] = acc
+		}
+	}
+}
+
+// GaussianBlur returns a new image blurred with a separable Gaussian of the
+// given sigma. The source image is not modified.
+func GaussianBlur(src *Gray, sigma float64) *Gray {
+	k := GaussianKernel(sigma)
+	tmp := NewGray(src.W, src.H)
+	dst := NewGray(src.W, src.H)
+	convolveH(tmp, src, k)
+	convolveV(dst, tmp, k)
+	return dst
+}
+
+// Subtract returns a-b pixel-wise. The images must have equal dimensions.
+func Subtract(a, b *Gray) *Gray {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("imgproc: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	out := NewGray(a.W, a.H)
+	for i := range out.Pix {
+		out.Pix[i] = a.Pix[i] - b.Pix[i]
+	}
+	return out
+}
+
+// Downsample returns the image reduced by a factor of two using 2×2 box
+// averaging. Odd trailing rows/columns are dropped. The result is at least
+// 1×1.
+func Downsample(src *Gray) *Gray {
+	w := src.W / 2
+	h := src.H / 2
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	out := NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sx := 2 * x
+			sy := 2 * y
+			sum := src.At(sx, sy) + src.At(sx+1, sy) + src.At(sx, sy+1) + src.At(sx+1, sy+1)
+			out.Pix[y*w+x] = sum / 4
+		}
+	}
+	return out
+}
+
+// Resize returns the image resampled to w×h with bilinear interpolation.
+func Resize(src *Gray, w, h int) *Gray {
+	out := NewGray(w, h)
+	sx := float64(src.W) / float64(w)
+	sy := float64(src.H) / float64(h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			out.Pix[y*w+x] = src.BilinearAt(fx, fy)
+		}
+	}
+	return out
+}
+
+// Gradient computes central-difference gradient magnitude and orientation
+// (radians in [-pi, pi]) at (x, y).
+func Gradient(g *Gray, x, y int) (mag, theta float64) {
+	dx := float64(g.At(x+1, y) - g.At(x-1, y))
+	dy := float64(g.At(x, y+1) - g.At(x, y-1))
+	return math.Hypot(dx, dy), math.Atan2(dy, dx)
+}
+
+// RGB is an 8-bit three-channel image used by the synthetic trace renderer.
+// Pixel (x, y) occupies Pix[3*(y*W+x) : 3*(y*W+x)+3].
+type RGB struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewRGB allocates a zeroed (black) w×h RGB image.
+func NewRGB(w, h int) *RGB {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imgproc: invalid image size %dx%d", w, h))
+	}
+	return &RGB{W: w, H: h, Pix: make([]uint8, 3*w*h)}
+}
+
+// Set writes an RGB pixel; out-of-bounds writes are ignored.
+func (m *RGB) Set(x, y int, r, g, b uint8) {
+	if x < 0 || x >= m.W || y < 0 || y >= m.H {
+		return
+	}
+	i := 3 * (y*m.W + x)
+	m.Pix[i] = r
+	m.Pix[i+1] = g
+	m.Pix[i+2] = b
+}
+
+// AtRGB reads an RGB pixel with border clamping.
+func (m *RGB) AtRGB(x, y int) (r, g, b uint8) {
+	if x < 0 {
+		x = 0
+	} else if x >= m.W {
+		x = m.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= m.H {
+		y = m.H - 1
+	}
+	i := 3 * (y*m.W + x)
+	return m.Pix[i], m.Pix[i+1], m.Pix[i+2]
+}
+
+// Grayscale converts an RGB image to Gray using the ITU-R BT.601 luma
+// weights, matching the grayscaling step of scAtteR's primary service.
+func Grayscale(m *RGB) *Gray {
+	out := NewGray(m.W, m.H)
+	for i := 0; i < m.W*m.H; i++ {
+		r := float32(m.Pix[3*i])
+		g := float32(m.Pix[3*i+1])
+		b := float32(m.Pix[3*i+2])
+		out.Pix[i] = (0.299*r + 0.587*g + 0.114*b) / 255
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+// Package lsh implements locality-sensitive hashing for approximate
+// nearest-neighbour search over Fisher vectors — scAtteR's lsh service.
+// It uses random-hyperplane (signed random projection) hashing: each of
+// several tables hashes a vector to a bit string of hyperplane signs, and
+// queries probe the exact bucket plus optional single-bit-flip buckets
+// (multi-probe) before ranking candidates by exact cosine distance.
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Neighbor is a query result: a stored item and its distance to the query.
+type Neighbor struct {
+	ID   int
+	Dist float64 // cosine distance in [0, 2]
+}
+
+// Config parameterizes an Index.
+type Config struct {
+	Dim    int   // vector dimensionality (required)
+	Tables int   // number of hash tables (default 8)
+	Bits   int   // hyperplanes per table, <= 64 (default 16)
+	Probes int   // additional single-bit-flip probes per table (default 2)
+	Seed   int64 // RNG seed for hyperplanes (default 1)
+}
+
+// Index is a multi-table random-hyperplane LSH index. It is safe for
+// concurrent use: lookups take a read lock, Add takes a write lock.
+type Index struct {
+	cfg    Config
+	planes [][][]float32 // [table][bit][dim]
+
+	mu      sync.RWMutex
+	tables  []map[uint64][]int
+	vectors map[int][]float32
+}
+
+// New creates an empty index. It panics on a non-positive dimension or
+// Bits > 64, which are programming errors.
+func New(cfg Config) *Index {
+	if cfg.Dim <= 0 {
+		panic(fmt.Sprintf("lsh: invalid dimension %d", cfg.Dim))
+	}
+	if cfg.Tables <= 0 {
+		cfg.Tables = 8
+	}
+	if cfg.Bits <= 0 {
+		cfg.Bits = 16
+	}
+	if cfg.Bits > 64 {
+		panic(fmt.Sprintf("lsh: bits %d > 64", cfg.Bits))
+	}
+	if cfg.Probes < 0 {
+		cfg.Probes = 0
+	} else if cfg.Probes == 0 {
+		cfg.Probes = 2
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ix := &Index{
+		cfg:     cfg,
+		vectors: make(map[int][]float32),
+	}
+	for t := 0; t < cfg.Tables; t++ {
+		bits := make([][]float32, cfg.Bits)
+		for b := range bits {
+			plane := make([]float32, cfg.Dim)
+			for d := range plane {
+				plane[d] = float32(rng.NormFloat64())
+			}
+			bits[b] = plane
+		}
+		ix.planes = append(ix.planes, bits)
+		ix.tables = append(ix.tables, make(map[uint64][]int))
+	}
+	return ix
+}
+
+// Len returns the number of stored items.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.vectors)
+}
+
+// Hash returns the bucket key of v in the given table.
+func (ix *Index) Hash(table int, v []float32) uint64 {
+	ix.checkDim(v)
+	var key uint64
+	for b, plane := range ix.planes[table] {
+		var dot float64
+		for d, x := range v {
+			dot += float64(x) * float64(plane[d])
+		}
+		if dot >= 0 {
+			key |= 1 << uint(b)
+		}
+	}
+	return key
+}
+
+func (ix *Index) checkDim(v []float32) {
+	if len(v) != ix.cfg.Dim {
+		panic(fmt.Sprintf("lsh: vector dim %d, want %d", len(v), ix.cfg.Dim))
+	}
+}
+
+// Add stores vector v under id, replacing any previous vector with the
+// same id. The vector is copied.
+func (ix *Index) Add(id int, v []float32) {
+	ix.checkDim(v)
+	cp := append([]float32(nil), v...)
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if old, ok := ix.vectors[id]; ok {
+		ix.removeLocked(id, old)
+	}
+	ix.vectors[id] = cp
+	for t := range ix.tables {
+		key := ix.Hash(t, cp)
+		ix.tables[t][key] = append(ix.tables[t][key], id)
+	}
+}
+
+// Remove deletes id from the index. Removing an absent id is a no-op.
+func (ix *Index) Remove(id int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if v, ok := ix.vectors[id]; ok {
+		ix.removeLocked(id, v)
+		delete(ix.vectors, id)
+	}
+}
+
+func (ix *Index) removeLocked(id int, v []float32) {
+	for t := range ix.tables {
+		key := ix.Hash(t, v)
+		bucket := ix.tables[t][key]
+		for i, bid := range bucket {
+			if bid == id {
+				ix.tables[t][key] = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+		if len(ix.tables[t][key]) == 0 {
+			delete(ix.tables[t], key)
+		}
+	}
+}
+
+// CosineDistance returns 1 - cos(a, b), in [0, 2]. Zero vectors are at
+// distance 1 from everything (undefined angle treated as orthogonal).
+func CosineDistance(a, b []float32) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		x, y := float64(a[i]), float64(b[i])
+		dot += x * y
+		na += x * x
+		nb += y * y
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/math.Sqrt(na*nb)
+}
+
+// Query returns up to k approximate nearest neighbours of v, ranked by
+// exact cosine distance over the union of candidate buckets across all
+// tables (plus multi-probe buckets differing by one bit).
+func (ix *Index) Query(v []float32, k int) []Neighbor {
+	ix.checkDim(v)
+	if k <= 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	seen := make(map[int]struct{})
+	for t := range ix.tables {
+		key := ix.Hash(t, v)
+		for _, id := range ix.tables[t][key] {
+			seen[id] = struct{}{}
+		}
+		for p := 0; p < ix.cfg.Probes && p < ix.cfg.Bits; p++ {
+			probe := key ^ (1 << uint(p))
+			for _, id := range ix.tables[t][probe] {
+				seen[id] = struct{}{}
+			}
+		}
+	}
+	neighbors := make([]Neighbor, 0, len(seen))
+	for id := range seen {
+		neighbors = append(neighbors, Neighbor{ID: id, Dist: CosineDistance(v, ix.vectors[id])})
+	}
+	sort.Slice(neighbors, func(i, j int) bool {
+		if neighbors[i].Dist != neighbors[j].Dist {
+			return neighbors[i].Dist < neighbors[j].Dist
+		}
+		return neighbors[i].ID < neighbors[j].ID
+	})
+	if len(neighbors) > k {
+		neighbors = neighbors[:k]
+	}
+	return neighbors
+}
+
+// ExactNN returns the true k nearest neighbours by brute force — the
+// accuracy baseline LSH recall is measured against.
+func (ix *Index) ExactNN(v []float32, k int) []Neighbor {
+	ix.checkDim(v)
+	if k <= 0 {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	neighbors := make([]Neighbor, 0, len(ix.vectors))
+	for id, stored := range ix.vectors {
+		neighbors = append(neighbors, Neighbor{ID: id, Dist: CosineDistance(v, stored)})
+	}
+	sort.Slice(neighbors, func(i, j int) bool {
+		if neighbors[i].Dist != neighbors[j].Dist {
+			return neighbors[i].Dist < neighbors[j].Dist
+		}
+		return neighbors[i].ID < neighbors[j].ID
+	})
+	if len(neighbors) > k {
+		neighbors = neighbors[:k]
+	}
+	return neighbors
+}

@@ -1,0 +1,400 @@
+// Package match implements scAtteR's matching service substrate: nearest-
+// neighbour descriptor matching with Lowe's ratio test, robust planar pose
+// estimation via RANSAC over homographies, and cross-frame object tracking.
+package match
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/edge-mar/scatter/internal/vision/sift"
+)
+
+// Match pairs a query feature index with a train (reference) feature index.
+type Match struct {
+	QueryIdx int
+	TrainIdx int
+	Dist     float64
+}
+
+// RatioTest matches each query descriptor to its nearest train descriptor,
+// keeping only matches whose nearest distance is below ratio × the
+// second-nearest distance (Lowe's ratio test). A typical ratio is 0.8.
+func RatioTest(query, train []sift.Feature, ratio float64) []Match {
+	if ratio <= 0 || ratio >= 1 {
+		ratio = 0.8
+	}
+	var out []Match
+	for qi := range query {
+		best, second := math.Inf(1), math.Inf(1)
+		bestIdx := -1
+		for ti := range train {
+			d := sift.L2(&query[qi].Desc, &train[ti].Desc)
+			if d < best {
+				second = best
+				best = d
+				bestIdx = ti
+			} else if d < second {
+				second = d
+			}
+		}
+		if bestIdx < 0 {
+			continue
+		}
+		if second == 0 || best < ratio*second {
+			out = append(out, Match{QueryIdx: qi, TrainIdx: bestIdx, Dist: best})
+		}
+	}
+	return out
+}
+
+// Point is a 2-D image point.
+type Point struct {
+	X, Y float64
+}
+
+// Homography is a 3×3 planar projective transform in row-major order,
+// normalized so that H[8] == 1 where possible.
+type Homography [9]float64
+
+// Identity returns the identity homography.
+func Identity() Homography {
+	return Homography{1, 0, 0, 0, 1, 0, 0, 0, 1}
+}
+
+// Apply maps a point through the homography. Points mapped to the plane at
+// infinity (w ≈ 0) return NaN coordinates.
+func (h *Homography) Apply(p Point) Point {
+	w := h[6]*p.X + h[7]*p.Y + h[8]
+	if math.Abs(w) < 1e-12 {
+		return Point{math.NaN(), math.NaN()}
+	}
+	return Point{
+		X: (h[0]*p.X + h[1]*p.Y + h[2]) / w,
+		Y: (h[3]*p.X + h[4]*p.Y + h[5]) / w,
+	}
+}
+
+// Mul returns the composition h∘g (apply g first, then h).
+func (h *Homography) Mul(g *Homography) Homography {
+	var out Homography
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			var s float64
+			for k := 0; k < 3; k++ {
+				s += h[3*r+k] * g[3*k+c]
+			}
+			out[3*r+c] = s
+		}
+	}
+	out.normalize()
+	return out
+}
+
+func (h *Homography) normalize() {
+	if math.Abs(h[8]) > 1e-12 {
+		inv := 1 / h[8]
+		for i := range h {
+			h[i] *= inv
+		}
+	}
+}
+
+// ErrDegenerate is returned when a homography cannot be estimated from the
+// given correspondences (collinear points, insufficient count, or a
+// singular system).
+var ErrDegenerate = errors.New("match: degenerate correspondence set")
+
+// solveLinear solves the n×n system a·x = b in place using Gaussian
+// elimination with partial pivoting. Returns false if singular.
+func solveLinear(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		maxAbs := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > maxAbs {
+				maxAbs = v
+				pivot = r
+			}
+		}
+		if maxAbs < 1e-12 {
+			return nil, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, true
+}
+
+// homographyFromPairs estimates H mapping src[i] -> dst[i] by solving the
+// DLT linear system with h22 fixed to 1. It requires >= 4 pairs; with more
+// than 4 it solves the least-squares normal equations.
+func homographyFromPairs(src, dst []Point) (Homography, error) {
+	n := len(src)
+	if n < 4 || len(dst) != n {
+		return Identity(), fmt.Errorf("%w: %d pairs", ErrDegenerate, n)
+	}
+	// Normalize points for conditioning (Hartley normalization).
+	srcN, tSrc := normalizePoints(src)
+	dstN, tDst := normalizePoints(dst)
+
+	// Build the 2n×8 design matrix rows; solve least squares via normal
+	// equations AtA x = Atb (8×8).
+	ata := make([][]float64, 8)
+	for i := range ata {
+		ata[i] = make([]float64, 8)
+	}
+	atb := make([]float64, 8)
+	row := make([]float64, 8)
+	addRow := func(rhs float64) {
+		for i := 0; i < 8; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			for j := 0; j < 8; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			atb[i] += row[i] * rhs
+		}
+	}
+	for i := 0; i < n; i++ {
+		x, y := srcN[i].X, srcN[i].Y
+		u, v := dstN[i].X, dstN[i].Y
+		row[0], row[1], row[2], row[3], row[4], row[5], row[6], row[7] =
+			x, y, 1, 0, 0, 0, -u*x, -u*y
+		addRow(u)
+		row[0], row[1], row[2], row[3], row[4], row[5], row[6], row[7] =
+			0, 0, 0, x, y, 1, -v*x, -v*y
+		addRow(v)
+	}
+	sol, ok := solveLinear(ata, atb)
+	if !ok {
+		return Identity(), ErrDegenerate
+	}
+	hn := Homography{sol[0], sol[1], sol[2], sol[3], sol[4], sol[5], sol[6], sol[7], 1}
+	// Denormalize: H = tDst^-1 · Hn · tSrc.
+	tDstInv, err := tDst.invertAffine()
+	if err != nil {
+		return Identity(), err
+	}
+	tmp := hn.Mul(&tSrc)
+	h := tDstInv.Mul(&tmp)
+	return h, nil
+}
+
+// normalizePoints translates points to zero centroid and scales to mean
+// distance sqrt(2) (Hartley). Returns the transformed points and the
+// similarity transform T with out = T(in).
+func normalizePoints(pts []Point) ([]Point, Homography) {
+	var cx, cy float64
+	for _, p := range pts {
+		cx += p.X
+		cy += p.Y
+	}
+	n := float64(len(pts))
+	cx /= n
+	cy /= n
+	var meanDist float64
+	for _, p := range pts {
+		meanDist += math.Hypot(p.X-cx, p.Y-cy)
+	}
+	meanDist /= n
+	scale := 1.0
+	if meanDist > 1e-12 {
+		scale = math.Sqrt2 / meanDist
+	}
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		out[i] = Point{X: (p.X - cx) * scale, Y: (p.Y - cy) * scale}
+	}
+	t := Homography{scale, 0, -scale * cx, 0, scale, -scale * cy, 0, 0, 1}
+	return out, t
+}
+
+// invertAffine inverts a similarity/affine homography (bottom row 0 0 1).
+func (h *Homography) invertAffine() (Homography, error) {
+	a, b, c := h[0], h[1], h[2]
+	d, e, f := h[3], h[4], h[5]
+	det := a*e - b*d
+	if math.Abs(det) < 1e-15 {
+		return Identity(), ErrDegenerate
+	}
+	inv := 1 / det
+	return Homography{
+		e * inv, -b * inv, (b*f - c*e) * inv,
+		-d * inv, a * inv, (c*d - a*f) * inv,
+		0, 0, 1,
+	}, nil
+}
+
+// RANSACResult is the outcome of robust homography estimation.
+type RANSACResult struct {
+	H          Homography
+	Inliers    []int // indices into the correspondence arrays
+	InlierFrac float64
+}
+
+// RANSACConfig controls EstimateHomographyRANSAC.
+type RANSACConfig struct {
+	Iterations int     // default 500
+	Threshold  float64 // inlier reprojection threshold in pixels (default 3)
+	Seed       int64   // default 1
+	MinInliers int     // minimum inliers to accept (default 8)
+}
+
+// EstimateHomographyRANSAC robustly fits a homography src -> dst. It
+// returns ErrDegenerate when no model reaches MinInliers.
+func EstimateHomographyRANSAC(src, dst []Point, cfg RANSACConfig) (*RANSACResult, error) {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 500
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MinInliers <= 0 {
+		cfg.MinInliers = 8
+	}
+	n := len(src)
+	if n < 4 || len(dst) != n {
+		return nil, fmt.Errorf("%w: %d correspondences", ErrDegenerate, n)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	thresholdSq := cfg.Threshold * cfg.Threshold
+
+	var bestInliers []int
+	sample := make([]int, 4)
+	s4, d4 := make([]Point, 4), make([]Point, 4)
+	for it := 0; it < cfg.Iterations; it++ {
+		// Sample 4 distinct indices.
+		for i := range sample {
+			for {
+				c := rng.Intn(n)
+				dup := false
+				for j := 0; j < i; j++ {
+					if sample[j] == c {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					sample[i] = c
+					break
+				}
+			}
+		}
+		for i, idx := range sample {
+			s4[i] = src[idx]
+			d4[i] = dst[idx]
+		}
+		h, err := homographyFromPairs(s4, d4)
+		if err != nil {
+			continue
+		}
+		var inliers []int
+		for i := 0; i < n; i++ {
+			p := h.Apply(src[i])
+			if math.IsNaN(p.X) {
+				continue
+			}
+			dx := p.X - dst[i].X
+			dy := p.Y - dst[i].Y
+			if dx*dx+dy*dy <= thresholdSq {
+				inliers = append(inliers, i)
+			}
+		}
+		if len(inliers) > len(bestInliers) {
+			bestInliers = inliers
+			// Early exit when almost everything is an inlier.
+			if len(bestInliers) > n*95/100 {
+				break
+			}
+		}
+	}
+	if len(bestInliers) < cfg.MinInliers {
+		return nil, fmt.Errorf("%w: best model has %d inliers < %d",
+			ErrDegenerate, len(bestInliers), cfg.MinInliers)
+	}
+	// Refine on all inliers.
+	srcIn := make([]Point, len(bestInliers))
+	dstIn := make([]Point, len(bestInliers))
+	for i, idx := range bestInliers {
+		srcIn[i] = src[idx]
+		dstIn[i] = dst[idx]
+	}
+	h, err := homographyFromPairs(srcIn, dstIn)
+	if err != nil {
+		return nil, err
+	}
+	return &RANSACResult{
+		H:          h,
+		Inliers:    bestInliers,
+		InlierFrac: float64(len(bestInliers)) / float64(n),
+	}, nil
+}
+
+// BoundingBox is an axis-aligned box in image coordinates.
+type BoundingBox struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// IoU returns the intersection-over-union of two axis-aligned boxes,
+// zero when they do not overlap or either is degenerate.
+func IoU(a, b BoundingBox) float64 {
+	ix := math.Min(a.MaxX, b.MaxX) - math.Max(a.MinX, b.MinX)
+	iy := math.Min(a.MaxY, b.MaxY) - math.Max(a.MinY, b.MinY)
+	if ix <= 0 || iy <= 0 {
+		return 0
+	}
+	inter := ix * iy
+	areaA := (a.MaxX - a.MinX) * (a.MaxY - a.MinY)
+	areaB := (b.MaxX - b.MinX) * (b.MaxY - b.MinY)
+	if areaA <= 0 || areaB <= 0 {
+		return 0
+	}
+	return inter / (areaA + areaB - inter)
+}
+
+// ProjectBox maps the four corners of a reference-image box through a
+// homography and returns the axis-aligned bounding box of the result —
+// the box scAtteR draws over a recognized object.
+func ProjectBox(h *Homography, refW, refH float64) BoundingBox {
+	corners := []Point{{0, 0}, {refW, 0}, {refW, refH}, {0, refH}}
+	box := BoundingBox{MinX: math.Inf(1), MinY: math.Inf(1), MaxX: math.Inf(-1), MaxY: math.Inf(-1)}
+	for _, c := range corners {
+		p := h.Apply(c)
+		if math.IsNaN(p.X) {
+			continue
+		}
+		box.MinX = math.Min(box.MinX, p.X)
+		box.MinY = math.Min(box.MinY, p.Y)
+		box.MaxX = math.Max(box.MaxX, p.X)
+		box.MaxY = math.Max(box.MaxY, p.Y)
+	}
+	return box
+}

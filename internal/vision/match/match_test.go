@@ -1,0 +1,308 @@
+package match
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/edge-mar/scatter/internal/vision/sift"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestIdentityApply(t *testing.T) {
+	h := Identity()
+	p := h.Apply(Point{3, -7})
+	if p.X != 3 || p.Y != -7 {
+		t.Errorf("identity moved point to %+v", p)
+	}
+}
+
+func TestApplyTranslation(t *testing.T) {
+	h := Homography{1, 0, 5, 0, 1, -2, 0, 0, 1}
+	p := h.Apply(Point{1, 1})
+	if p.X != 6 || p.Y != -1 {
+		t.Errorf("translation result %+v, want (6, -1)", p)
+	}
+}
+
+func TestApplyDegenerateW(t *testing.T) {
+	h := Homography{1, 0, 0, 0, 1, 0, 1, 0, 0} // w = x
+	p := h.Apply(Point{0, 5})
+	if !math.IsNaN(p.X) || !math.IsNaN(p.Y) {
+		t.Errorf("point at infinity mapped to %+v, want NaN", p)
+	}
+}
+
+func TestMulComposition(t *testing.T) {
+	shift := Homography{1, 0, 2, 0, 1, 3, 0, 0, 1}
+	scale := Homography{2, 0, 0, 0, 2, 0, 0, 0, 1}
+	// scale∘shift: first shift, then scale.
+	comp := scale.Mul(&shift)
+	p := comp.Apply(Point{1, 1})
+	if !almostEqual(p.X, 6, 1e-12) || !almostEqual(p.Y, 8, 1e-12) {
+		t.Errorf("composition result %+v, want (6, 8)", p)
+	}
+}
+
+// knownH returns a well-conditioned projective transform used in tests.
+func knownH() Homography {
+	return Homography{
+		1.2, 0.1, 15,
+		-0.08, 0.95, -7,
+		0.0004, -0.0002, 1,
+	}
+}
+
+func applyAll(h *Homography, pts []Point) []Point {
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		out[i] = h.Apply(p)
+	}
+	return out
+}
+
+func gridPoints(n int, w, h float64, rng *rand.Rand) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * w, Y: rng.Float64() * h}
+	}
+	return pts
+}
+
+func TestHomographyFromPairsExact(t *testing.T) {
+	truth := knownH()
+	src := []Point{{0, 0}, {100, 0}, {100, 80}, {0, 80}, {50, 40}, {20, 60}}
+	dst := applyAll(&truth, src)
+	h, err := homographyFromPairs(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Point{{10, 10}, {90, 70}, {33, 5}} {
+		want := truth.Apply(p)
+		got := h.Apply(p)
+		if !almostEqual(got.X, want.X, 1e-6) || !almostEqual(got.Y, want.Y, 1e-6) {
+			t.Errorf("recovered H maps %+v to %+v, want %+v", p, got, want)
+		}
+	}
+}
+
+func TestHomographyFromPairsDegenerate(t *testing.T) {
+	// Collinear points cannot determine a homography.
+	src := []Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	dst := []Point{{0, 0}, {2, 2}, {4, 4}, {6, 6}}
+	if _, err := homographyFromPairs(src, dst); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("collinear points err = %v, want ErrDegenerate", err)
+	}
+	if _, err := homographyFromPairs(src[:3], dst[:3]); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("3 points err = %v, want ErrDegenerate", err)
+	}
+}
+
+func TestRANSACWithOutliers(t *testing.T) {
+	truth := knownH()
+	rng := rand.New(rand.NewSource(31))
+	src := gridPoints(100, 640, 480, rng)
+	dst := applyAll(&truth, src)
+	// Corrupt 30% with gross outliers.
+	nOut := 30
+	for i := 0; i < nOut; i++ {
+		dst[i].X += 50 + rng.Float64()*200
+		dst[i].Y -= 50 + rng.Float64()*200
+	}
+	res, err := EstimateHomographyRANSAC(src, dst, RANSACConfig{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InlierFrac < 0.65 {
+		t.Errorf("inlier fraction = %v, want >= 0.65", res.InlierFrac)
+	}
+	// Inliers must exclude the corrupted indices (mostly).
+	corrupted := 0
+	for _, idx := range res.Inliers {
+		if idx < nOut {
+			corrupted++
+		}
+	}
+	if corrupted > 2 {
+		t.Errorf("%d corrupted correspondences accepted as inliers", corrupted)
+	}
+	// Recovered transform must be close to truth on clean points.
+	for _, p := range []Point{{100, 100}, {500, 400}} {
+		want := truth.Apply(p)
+		got := res.H.Apply(p)
+		if math.Hypot(got.X-want.X, got.Y-want.Y) > 1.0 {
+			t.Errorf("RANSAC H maps %+v to %+v, want %+v", p, got, want)
+		}
+	}
+}
+
+func TestRANSACAllOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	src := gridPoints(40, 640, 480, rng)
+	dst := gridPoints(40, 640, 480, rng) // unrelated
+	_, err := EstimateHomographyRANSAC(src, dst, RANSACConfig{Seed: 32, MinInliers: 12})
+	if !errors.Is(err, ErrDegenerate) {
+		t.Errorf("unrelated point sets err = %v, want ErrDegenerate", err)
+	}
+}
+
+func TestRANSACTooFewPoints(t *testing.T) {
+	src := []Point{{0, 0}, {1, 0}, {0, 1}}
+	if _, err := EstimateHomographyRANSAC(src, src, RANSACConfig{}); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("3 points err = %v, want ErrDegenerate", err)
+	}
+}
+
+func TestRANSACDeterministic(t *testing.T) {
+	truth := knownH()
+	rng := rand.New(rand.NewSource(33))
+	src := gridPoints(60, 640, 480, rng)
+	dst := applyAll(&truth, src)
+	for i := 0; i < 10; i++ {
+		dst[i].X += 120
+	}
+	r1, err1 := EstimateHomographyRANSAC(src, dst, RANSACConfig{Seed: 5})
+	r2, err2 := EstimateHomographyRANSAC(src, dst, RANSACConfig{Seed: 5})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1.H != r2.H || len(r1.Inliers) != len(r2.Inliers) {
+		t.Error("same seed produced different RANSAC results")
+	}
+}
+
+func TestRatioTest(t *testing.T) {
+	mkFeat := func(vals ...float32) sift.Feature {
+		var f sift.Feature
+		copy(f.Desc[:], vals)
+		// Normalize.
+		var n float64
+		for _, v := range f.Desc {
+			n += float64(v) * float64(v)
+		}
+		if n > 0 {
+			n = math.Sqrt(n)
+			for i := range f.Desc {
+				f.Desc[i] = float32(float64(f.Desc[i]) / n)
+			}
+		}
+		return f
+	}
+	train := []sift.Feature{
+		mkFeat(1, 0, 0),
+		mkFeat(0, 1, 0),
+		mkFeat(0, 0, 1),
+	}
+	// Query near train[0]: unambiguous, should match.
+	query := []sift.Feature{mkFeat(0.98, 0.1, 0)}
+	matches := RatioTest(query, train, 0.8)
+	if len(matches) != 1 || matches[0].TrainIdx != 0 {
+		t.Fatalf("unambiguous query matches = %+v", matches)
+	}
+	// Ambiguous query equidistant to two train features: ratio test must
+	// reject it.
+	query = []sift.Feature{mkFeat(0.7071, 0.7071, 0)}
+	if matches := RatioTest(query, train, 0.8); len(matches) != 0 {
+		t.Errorf("ambiguous query produced matches %+v", matches)
+	}
+}
+
+func TestRatioTestEmpty(t *testing.T) {
+	if m := RatioTest(nil, nil, 0.8); len(m) != 0 {
+		t.Errorf("empty inputs produced %+v", m)
+	}
+}
+
+func TestProjectBox(t *testing.T) {
+	shift := Homography{1, 0, 10, 0, 1, 20, 0, 0, 1}
+	box := ProjectBox(&shift, 100, 50)
+	if box.MinX != 10 || box.MinY != 20 || box.MaxX != 110 || box.MaxY != 70 {
+		t.Errorf("projected box = %+v", box)
+	}
+}
+
+// Property: homographyFromPairs recovers random well-conditioned affine
+// transforms from noiseless correspondences.
+func TestHomographyRecoveryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		truth := Homography{
+			1 + rng.Float64()*0.5, rng.Float64() * 0.2, rng.Float64() * 100,
+			rng.Float64() * 0.2, 1 + rng.Float64()*0.5, rng.Float64() * 100,
+			0, 0, 1,
+		}
+		src := gridPoints(12, 640, 480, rng)
+		dst := applyAll(&truth, src)
+		h, err := homographyFromPairs(src, dst)
+		if err != nil {
+			return false
+		}
+		p := Point{rng.Float64() * 640, rng.Float64() * 480}
+		want := truth.Apply(p)
+		got := h.Apply(p)
+		return math.Hypot(got.X-want.X, got.Y-want.Y) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if _, ok := solveLinear(a, b); ok {
+		t.Error("singular system reported solvable")
+	}
+}
+
+func TestSolveLinearKnown(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, ok := solveLinear(a, b)
+	if !ok {
+		t.Fatal("solvable system reported singular")
+	}
+	if !almostEqual(x[0], 1, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Errorf("solution = %v, want [1 3]", x)
+	}
+}
+
+func BenchmarkRANSAC100(b *testing.B) {
+	truth := knownH()
+	rng := rand.New(rand.NewSource(34))
+	src := gridPoints(100, 640, 480, rng)
+	dst := applyAll(&truth, src)
+	for i := 0; i < 20; i++ {
+		dst[i].X += 100
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateHomographyRANSAC(src, dst, RANSACConfig{Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestIoU(t *testing.T) {
+	a := BoundingBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	if got := IoU(a, a); math.Abs(got-1) > 1e-9 {
+		t.Errorf("self IoU = %v", got)
+	}
+	b := BoundingBox{MinX: 5, MinY: 0, MaxX: 15, MaxY: 10}
+	// Intersection 50, union 150.
+	if got := IoU(a, b); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("half-overlap IoU = %v, want 1/3", got)
+	}
+	c := BoundingBox{MinX: 20, MinY: 20, MaxX: 30, MaxY: 30}
+	if got := IoU(a, c); got != 0 {
+		t.Errorf("disjoint IoU = %v", got)
+	}
+	deg := BoundingBox{MinX: 5, MinY: 5, MaxX: 5, MaxY: 5}
+	if got := IoU(a, deg); got != 0 {
+		t.Errorf("degenerate IoU = %v", got)
+	}
+}

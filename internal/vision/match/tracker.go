@@ -1,0 +1,109 @@
+package match
+
+import "sort"
+
+// Detection is one recognized object in a frame: its reference-image ID,
+// estimated pose, and match quality.
+type Detection struct {
+	ObjectID   int
+	Pose       Homography
+	Box        BoundingBox
+	InlierFrac float64
+}
+
+// Track is the tracked state of one object across frames.
+type Track struct {
+	ObjectID  int
+	Pose      Homography
+	Box       BoundingBox
+	LastFrame uint64 // frame number of the last supporting detection
+	Hits      int    // total supporting detections
+	Misses    int    // consecutive frames without a detection
+}
+
+// TrackerConfig controls track lifetime and smoothing.
+type TrackerConfig struct {
+	// MaxMisses is how many consecutive frames an object may go
+	// undetected before its track is dropped (default 15, i.e. 0.5 s at
+	// 30 FPS).
+	MaxMisses int
+	// Smoothing is the exponential moving-average weight given to the new
+	// pose in [0, 1]; 1 disables smoothing (default 0.6).
+	Smoothing float64
+}
+
+// Tracker follows recognized objects across frames, smoothing their poses
+// and expiring objects that disappear. It is the "tracking" half of
+// scAtteR's matching service. Tracker is not safe for concurrent use; the
+// pipeline guarantees one frame in flight per tracker.
+type Tracker struct {
+	cfg    TrackerConfig
+	tracks map[int]*Track
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker(cfg TrackerConfig) *Tracker {
+	if cfg.MaxMisses <= 0 {
+		cfg.MaxMisses = 15
+	}
+	if cfg.Smoothing <= 0 || cfg.Smoothing > 1 {
+		cfg.Smoothing = 0.6
+	}
+	return &Tracker{cfg: cfg, tracks: make(map[int]*Track)}
+}
+
+// Update ingests the detections of frame frameNo and returns the current
+// set of live tracks, sorted by ObjectID. Objects absent from detections
+// accrue misses and are expired after MaxMisses consecutive absences.
+func (t *Tracker) Update(frameNo uint64, detections []Detection) []Track {
+	seen := make(map[int]bool, len(detections))
+	for _, d := range detections {
+		seen[d.ObjectID] = true
+		tr, ok := t.tracks[d.ObjectID]
+		if !ok {
+			t.tracks[d.ObjectID] = &Track{
+				ObjectID:  d.ObjectID,
+				Pose:      d.Pose,
+				Box:       d.Box,
+				LastFrame: frameNo,
+				Hits:      1,
+			}
+			continue
+		}
+		a := t.cfg.Smoothing
+		for i := range tr.Pose {
+			tr.Pose[i] = (1-a)*tr.Pose[i] + a*d.Pose[i]
+		}
+		tr.Pose.normalize()
+		tr.Box = BoundingBox{
+			MinX: (1-a)*tr.Box.MinX + a*d.Box.MinX,
+			MinY: (1-a)*tr.Box.MinY + a*d.Box.MinY,
+			MaxX: (1-a)*tr.Box.MaxX + a*d.Box.MaxX,
+			MaxY: (1-a)*tr.Box.MaxY + a*d.Box.MaxY,
+		}
+		tr.LastFrame = frameNo
+		tr.Hits++
+		tr.Misses = 0
+	}
+	for id, tr := range t.tracks {
+		if seen[id] {
+			continue
+		}
+		tr.Misses++
+		if tr.Misses > t.cfg.MaxMisses {
+			delete(t.tracks, id)
+		}
+	}
+	out := make([]Track, 0, len(t.tracks))
+	for _, tr := range t.tracks {
+		out = append(out, *tr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ObjectID < out[j].ObjectID })
+	return out
+}
+
+// Len returns the number of live tracks.
+func (t *Tracker) Len() int { return len(t.tracks) }
+
+// Reset drops all tracks (used when a client session ends).
+func (t *Tracker) Reset() { t.tracks = make(map[int]*Track) }

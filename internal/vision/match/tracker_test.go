@@ -1,0 +1,96 @@
+package match
+
+import (
+	"testing"
+)
+
+func det(id int, x float64) Detection {
+	return Detection{
+		ObjectID:   id,
+		Pose:       Homography{1, 0, x, 0, 1, 0, 0, 0, 1},
+		Box:        BoundingBox{MinX: x, MinY: 0, MaxX: x + 10, MaxY: 10},
+		InlierFrac: 0.9,
+	}
+}
+
+func TestTrackerCreatesAndUpdates(t *testing.T) {
+	tr := NewTracker(TrackerConfig{})
+	tracks := tr.Update(1, []Detection{det(5, 0)})
+	if len(tracks) != 1 || tracks[0].ObjectID != 5 || tracks[0].Hits != 1 {
+		t.Fatalf("tracks after first frame = %+v", tracks)
+	}
+	tracks = tr.Update(2, []Detection{det(5, 10)})
+	if tracks[0].Hits != 2 {
+		t.Errorf("hits = %d, want 2", tracks[0].Hits)
+	}
+	// Smoothed position should lie strictly between 0 and 10.
+	if x := tracks[0].Box.MinX; x <= 0 || x >= 10 {
+		t.Errorf("smoothed MinX = %v, want in (0, 10)", x)
+	}
+}
+
+func TestTrackerSmoothingWeight(t *testing.T) {
+	tr := NewTracker(TrackerConfig{Smoothing: 1}) // no smoothing
+	tr.Update(1, []Detection{det(1, 0)})
+	tracks := tr.Update(2, []Detection{det(1, 10)})
+	if tracks[0].Box.MinX != 10 {
+		t.Errorf("smoothing=1 MinX = %v, want 10", tracks[0].Box.MinX)
+	}
+}
+
+func TestTrackerExpires(t *testing.T) {
+	tr := NewTracker(TrackerConfig{MaxMisses: 2})
+	tr.Update(1, []Detection{det(1, 0)})
+	tr.Update(2, nil) // miss 1
+	tr.Update(3, nil) // miss 2
+	if tr.Len() != 1 {
+		t.Fatalf("track expired too early: len = %d", tr.Len())
+	}
+	tr.Update(4, nil) // miss 3 > MaxMisses
+	if tr.Len() != 0 {
+		t.Errorf("track not expired: len = %d", tr.Len())
+	}
+}
+
+func TestTrackerMissResetOnRedetection(t *testing.T) {
+	tr := NewTracker(TrackerConfig{MaxMisses: 2})
+	tr.Update(1, []Detection{det(1, 0)})
+	tr.Update(2, nil)
+	tr.Update(3, []Detection{det(1, 1)}) // re-detected: misses reset
+	tr.Update(4, nil)
+	tr.Update(5, nil)
+	if tr.Len() != 1 {
+		t.Error("track expired despite re-detection resetting misses")
+	}
+}
+
+func TestTrackerMultipleObjectsSorted(t *testing.T) {
+	tr := NewTracker(TrackerConfig{})
+	tracks := tr.Update(1, []Detection{det(9, 0), det(2, 5), det(4, 1)})
+	if len(tracks) != 3 {
+		t.Fatalf("len = %d, want 3", len(tracks))
+	}
+	for i, want := range []int{2, 4, 9} {
+		if tracks[i].ObjectID != want {
+			t.Errorf("tracks[%d].ObjectID = %d, want %d", i, tracks[i].ObjectID, want)
+		}
+	}
+}
+
+func TestTrackerReset(t *testing.T) {
+	tr := NewTracker(TrackerConfig{})
+	tr.Update(1, []Detection{det(1, 0), det(2, 0)})
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Errorf("len after Reset = %d", tr.Len())
+	}
+}
+
+func TestTrackerLastFrame(t *testing.T) {
+	tr := NewTracker(TrackerConfig{})
+	tr.Update(7, []Detection{det(1, 0)})
+	tracks := tr.Update(9, []Detection{det(1, 0)})
+	if tracks[0].LastFrame != 9 {
+		t.Errorf("LastFrame = %d, want 9", tracks[0].LastFrame)
+	}
+}

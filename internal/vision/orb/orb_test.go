@@ -1,0 +1,196 @@
+package orb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/edge-mar/scatter/internal/vision/imgproc"
+)
+
+// testPattern renders blocks with strong corners.
+func testPattern(w, h int, seed int64) *imgproc.Gray {
+	g := imgproc.NewGray(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = 0.2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 10; i++ {
+		bx := 20 + rng.Intn(w-50)
+		by := 20 + rng.Intn(h-50)
+		side := 8 + rng.Intn(14)
+		val := 0.55 + 0.45*rng.Float32()
+		for y := by; y < by+side && y < h; y++ {
+			for x := bx; x < bx+side && x < w; x++ {
+				g.Set(x, y, val)
+			}
+		}
+	}
+	return g
+}
+
+func TestDetectFindsCorners(t *testing.T) {
+	img := testPattern(160, 120, 3)
+	d := New(Config{})
+	feats := d.Detect(img)
+	if len(feats) < 8 {
+		t.Fatalf("only %d features on a blocky image", len(feats))
+	}
+	for i := 1; i < len(feats); i++ {
+		if feats[i].Score > feats[i-1].Score {
+			t.Fatal("features not sorted by score")
+		}
+	}
+	for _, f := range feats {
+		if f.X < 0 || f.X >= float64(img.W) || f.Y < 0 || f.Y >= float64(img.H) {
+			t.Errorf("feature outside image: (%v, %v)", f.X, f.Y)
+		}
+	}
+}
+
+func TestDetectEmptyOnFlat(t *testing.T) {
+	img := imgproc.NewGray(100, 80)
+	for i := range img.Pix {
+		img.Pix[i] = 0.5
+	}
+	if feats := New(Config{}).Detect(img); len(feats) != 0 {
+		t.Errorf("flat image produced %d features", len(feats))
+	}
+}
+
+func TestDetectTinyImage(t *testing.T) {
+	img := imgproc.NewGray(10, 10)
+	if feats := New(Config{}).Detect(img); feats != nil {
+		t.Errorf("tiny image produced %v", feats)
+	}
+}
+
+func TestMaxFeatures(t *testing.T) {
+	img := testPattern(160, 120, 3)
+	feats := New(Config{MaxFeatures: 5}).Detect(img)
+	if len(feats) > 5 {
+		t.Errorf("cap ignored: %d features", len(feats))
+	}
+}
+
+func TestHamming(t *testing.T) {
+	var a, b Descriptor
+	if Hamming(&a, &b) != 0 {
+		t.Error("identical descriptors differ")
+	}
+	b[0] = 0b1011
+	if got := Hamming(&a, &b); got != 3 {
+		t.Errorf("Hamming = %d, want 3", got)
+	}
+	for i := range b {
+		a[i] = 0
+		b[i] = ^uint64(0)
+	}
+	if got := Hamming(&a, &b); got != DescriptorBits {
+		t.Errorf("all-bits Hamming = %d, want %d", got, DescriptorBits)
+	}
+}
+
+func TestDescriptorsMatchAcrossNoise(t *testing.T) {
+	img := testPattern(160, 120, 4)
+	noisy := img.Clone()
+	rng := rand.New(rand.NewSource(9))
+	for i := range noisy.Pix {
+		noisy.Pix[i] += float32(rng.NormFloat64() * 0.01)
+	}
+	d := New(Config{})
+	a := d.Detect(img)
+	b := d.Detect(noisy)
+	if len(a) == 0 || len(b) == 0 {
+		t.Skip("no features")
+	}
+	matches := MatchFeatures(a, b, 64, 0.9)
+	if len(matches) == 0 {
+		t.Fatal("no matches across mild noise")
+	}
+	// Matches must be spatially consistent (same image coordinates).
+	consistent := 0
+	for _, m := range matches {
+		dx := a[m.QueryIdx].X - b[m.TrainIdx].X
+		dy := a[m.QueryIdx].Y - b[m.TrainIdx].Y
+		if math.Hypot(dx, dy) < 3 {
+			consistent++
+		}
+	}
+	if frac := float64(consistent) / float64(len(matches)); frac < 0.7 {
+		t.Errorf("only %.0f%% of matches spatially consistent", frac*100)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	img := testPattern(160, 120, 5)
+	a := New(Config{Seed: 42}).Detect(img)
+	b := New(Config{Seed: 42}).Detect(img)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different features")
+		}
+	}
+}
+
+func TestFloat32DescriptorEmbedding(t *testing.T) {
+	var a, b Descriptor
+	a[0] = 0xFF
+	fa, fb := Float32Descriptor(&a), Float32Descriptor(&b)
+	if len(fa) != DescriptorBits {
+		t.Fatalf("embedding dim = %d", len(fa))
+	}
+	var normA, dot float64
+	for i := range fa {
+		normA += float64(fa[i]) * float64(fa[i])
+		dot += float64(fa[i]-fb[i]) * float64(fa[i]-fb[i])
+	}
+	if math.Abs(normA-1) > 1e-5 {
+		t.Errorf("embedding norm² = %v, want 1", normA)
+	}
+	// Squared Euclidean distance = 4/DescriptorBits × Hamming distance.
+	wantDot := 4.0 / DescriptorBits * float64(Hamming(&a, &b))
+	if math.Abs(dot-wantDot) > 1e-5 {
+		t.Errorf("embedding distance² = %v, want %v", dot, wantDot)
+	}
+}
+
+// Property: the embedding preserves the Hamming metric exactly (up to a
+// constant factor) for random descriptor pairs.
+func TestEmbeddingIsometryProperty(t *testing.T) {
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3 uint64) bool {
+		a := Descriptor{a0, a1, a2, a3}
+		b := Descriptor{b0, b1, b2, b3}
+		fa, fb := Float32Descriptor(&a), Float32Descriptor(&b)
+		var d2 float64
+		for i := range fa {
+			d := float64(fa[i] - fb[i])
+			d2 += d * d
+		}
+		want := 4.0 / DescriptorBits * float64(Hamming(&a, &b))
+		return math.Abs(d2-want) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchFeaturesEmpty(t *testing.T) {
+	if m := MatchFeatures(nil, nil, 0, 0); len(m) != 0 {
+		t.Errorf("empty match = %v", m)
+	}
+}
+
+func BenchmarkDetect320x180(b *testing.B) {
+	img := testPattern(320, 180, 6)
+	d := New(Config{MaxFeatures: 150})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Detect(img)
+	}
+}

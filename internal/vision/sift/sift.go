@@ -1,0 +1,484 @@
+// Package sift implements a scale-invariant feature transform (SIFT)
+// detector and descriptor in pure Go, following Lowe's 2004 formulation:
+// a Gaussian scale-space pyramid, difference-of-Gaussian (DoG) extrema
+// detection with contrast and edge rejection, gradient-histogram
+// orientation assignment, and 128-dimensional descriptors built from a
+// 4×4 grid of 8-bin orientation histograms.
+//
+// This is the object-detection substrate behind scAtteR's sift service.
+// The paper runs SIFT on GPUs; this implementation trades raw speed for
+// portability and determinism but computes the same quantities, so the
+// downstream encoding/LSH/matching stages operate on real descriptors.
+package sift
+
+import (
+	"math"
+	"sort"
+
+	"github.com/edge-mar/scatter/internal/vision/imgproc"
+)
+
+// DescriptorSize is the dimensionality of a SIFT descriptor:
+// 4×4 spatial bins × 8 orientation bins.
+const DescriptorSize = 128
+
+// Descriptor is a 128-dimensional SIFT feature descriptor, L2-normalized
+// with the standard 0.2 clamp-and-renormalize illumination correction.
+type Descriptor [DescriptorSize]float32
+
+// Keypoint locates a detected feature in the original image.
+type Keypoint struct {
+	X, Y        float64 // position in input-image coordinates
+	Sigma       float64 // absolute scale
+	Orientation float64 // dominant gradient orientation, radians in [-pi, pi]
+	Response    float64 // |DoG| response; higher is stronger
+	Octave      int
+	Level       int
+}
+
+// Feature is a keypoint with its descriptor.
+type Feature struct {
+	Keypoint
+	Desc Descriptor
+}
+
+// Config controls detection. The zero value is not valid; use Defaults and
+// override fields as needed.
+type Config struct {
+	// Octaves is the number of pyramid octaves. If zero, it is derived
+	// from the image size (down to a minimum dimension of 16 pixels).
+	Octaves int
+	// Levels is the number of scales sampled per octave (Lowe's "s").
+	Levels int
+	// SigmaBase is the blur of the first pyramid level.
+	SigmaBase float64
+	// ContrastThreshold rejects low-contrast extrema (applied to |DoG|).
+	ContrastThreshold float64
+	// EdgeThreshold rejects edge-like extrema via the principal-curvature
+	// ratio test; Lowe suggests 10.
+	EdgeThreshold float64
+	// MaxFeatures caps the number of returned features, keeping the
+	// strongest by response. Zero means no cap.
+	MaxFeatures int
+}
+
+// Defaults returns the standard SIFT parameterization.
+func Defaults() Config {
+	return Config{
+		Levels:            3,
+		SigmaBase:         1.6,
+		ContrastThreshold: 0.03,
+		EdgeThreshold:     10,
+		MaxFeatures:       0,
+	}
+}
+
+// Detector detects SIFT features. A Detector is safe for concurrent use;
+// it holds only immutable configuration.
+type Detector struct {
+	cfg Config
+}
+
+// New returns a Detector for the given configuration, filling unset fields
+// from Defaults.
+func New(cfg Config) *Detector {
+	d := Defaults()
+	if cfg.Octaves > 0 {
+		d.Octaves = cfg.Octaves
+	}
+	if cfg.Levels > 0 {
+		d.Levels = cfg.Levels
+	}
+	if cfg.SigmaBase > 0 {
+		d.SigmaBase = cfg.SigmaBase
+	}
+	if cfg.ContrastThreshold > 0 {
+		d.ContrastThreshold = cfg.ContrastThreshold
+	}
+	if cfg.EdgeThreshold > 0 {
+		d.EdgeThreshold = cfg.EdgeThreshold
+	}
+	if cfg.MaxFeatures > 0 {
+		d.MaxFeatures = cfg.MaxFeatures
+	}
+	return &Detector{cfg: d}
+}
+
+// pyramid holds the Gaussian and DoG scale spaces for one image.
+type pyramid struct {
+	gauss  [][]*imgproc.Gray // [octave][level], levels+3 per octave
+	dog    [][]*imgproc.Gray // [octave][level], levels+2 per octave
+	sigmas []float64         // per-level blur within an octave
+}
+
+func (d *Detector) buildPyramid(img *imgproc.Gray) *pyramid {
+	cfg := d.cfg
+	octaves := cfg.Octaves
+	if octaves == 0 {
+		minDim := img.W
+		if img.H < minDim {
+			minDim = img.H
+		}
+		for octaves = 0; minDim >= 16; octaves++ {
+			minDim /= 2
+		}
+		if octaves < 1 {
+			octaves = 1
+		}
+	}
+	nLevels := cfg.Levels + 3
+	k := math.Pow(2, 1/float64(cfg.Levels))
+	sigmas := make([]float64, nLevels)
+	sigmas[0] = cfg.SigmaBase
+	for i := 1; i < nLevels; i++ {
+		sigmas[i] = sigmas[0] * math.Pow(k, float64(i))
+	}
+
+	p := &pyramid{sigmas: sigmas}
+	base := imgproc.GaussianBlur(img, cfg.SigmaBase)
+	for o := 0; o < octaves; o++ {
+		levels := make([]*imgproc.Gray, nLevels)
+		levels[0] = base
+		for i := 1; i < nLevels; i++ {
+			// Incremental blur: sigma needed to go from level i-1 to i.
+			sPrev, sCur := sigmas[i-1], sigmas[i]
+			inc := math.Sqrt(sCur*sCur - sPrev*sPrev)
+			levels[i] = imgproc.GaussianBlur(levels[i-1], inc)
+		}
+		dogs := make([]*imgproc.Gray, nLevels-1)
+		for i := 0; i < nLevels-1; i++ {
+			dogs[i] = imgproc.Subtract(levels[i+1], levels[i])
+		}
+		p.gauss = append(p.gauss, levels)
+		p.dog = append(p.dog, dogs)
+		// Next octave starts from the level with blur 2*sigmaBase.
+		next := levels[cfg.Levels]
+		if next.W < 4 || next.H < 4 {
+			break
+		}
+		base = imgproc.Downsample(next)
+		if base.W < 4 || base.H < 4 {
+			break
+		}
+	}
+	return p
+}
+
+// isExtremum reports whether pixel (x, y) of dog[o][l] is a local extremum
+// over its 26 scale-space neighbours.
+func isExtremum(dogs []*imgproc.Gray, l, x, y int) bool {
+	v := dogs[l].At(x, y)
+	isMax := true
+	isMin := true
+	for dl := -1; dl <= 1; dl++ {
+		img := dogs[l+dl]
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dl == 0 && dx == 0 && dy == 0 {
+					continue
+				}
+				n := img.At(x+dx, y+dy)
+				if n >= v {
+					isMax = false
+				}
+				if n <= v {
+					isMin = false
+				}
+				if !isMax && !isMin {
+					return false
+				}
+			}
+		}
+	}
+	return isMax || isMin
+}
+
+// edgeLike applies Lowe's principal-curvature ratio test using the 2×2
+// Hessian of the DoG response. Returns true if the point lies on an edge.
+func edgeLike(img *imgproc.Gray, x, y int, edgeThreshold float64) bool {
+	dxx := float64(img.At(x+1, y) + img.At(x-1, y) - 2*img.At(x, y))
+	dyy := float64(img.At(x, y+1) + img.At(x, y-1) - 2*img.At(x, y))
+	dxy := float64(img.At(x+1, y+1)-img.At(x-1, y+1)-img.At(x+1, y-1)+img.At(x-1, y-1)) / 4
+	tr := dxx + dyy
+	det := dxx*dyy - dxy*dxy
+	if det <= 0 {
+		return true
+	}
+	r := edgeThreshold
+	return tr*tr/det >= (r+1)*(r+1)/r
+}
+
+// Detect finds SIFT features in img. The returned slice is ordered by
+// decreasing response strength.
+func (d *Detector) Detect(img *imgproc.Gray) []Feature {
+	p := d.buildPyramid(img)
+	cfg := d.cfg
+	var feats []Feature
+	for o := range p.dog {
+		dogs := p.dog[o]
+		scale := float64(int(1) << uint(o))
+		for l := 1; l < len(dogs)-1; l++ {
+			img := dogs[l]
+			for y := 1; y < img.H-1; y++ {
+				for x := 1; x < img.W-1; x++ {
+					v := img.At(x, y)
+					if math.Abs(float64(v)) < cfg.ContrastThreshold {
+						continue
+					}
+					if !isExtremum(dogs, l, x, y) {
+						continue
+					}
+					if edgeLike(img, x, y, cfg.EdgeThreshold) {
+						continue
+					}
+					sigma := p.sigmas[l]
+					grad := p.gauss[o][l]
+					for _, ori := range dominantOrientations(grad, x, y, sigma) {
+						kp := Keypoint{
+							X:           float64(x) * scale,
+							Y:           float64(y) * scale,
+							Sigma:       sigma * scale,
+							Orientation: ori,
+							Response:    math.Abs(float64(v)),
+							Octave:      o,
+							Level:       l,
+						}
+						desc := computeDescriptor(grad, x, y, sigma, ori)
+						feats = append(feats, Feature{Keypoint: kp, Desc: desc})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(feats, func(i, j int) bool { return feats[i].Response > feats[j].Response })
+	if cfg.MaxFeatures > 0 && len(feats) > cfg.MaxFeatures {
+		feats = feats[:cfg.MaxFeatures]
+	}
+	return feats
+}
+
+const orientationBins = 36
+
+// dominantOrientations builds a 36-bin gradient orientation histogram in a
+// Gaussian-weighted window around (x, y) and returns the dominant peak plus
+// any secondary peaks within 80% of it (each spawning its own keypoint, as
+// in Lowe 2004).
+func dominantOrientations(img *imgproc.Gray, x, y int, sigma float64) []float64 {
+	var hist [orientationBins]float64
+	radius := int(math.Round(3 * 1.5 * sigma))
+	if radius < 1 {
+		radius = 1
+	}
+	w := 1.5 * sigma
+	inv := -1 / (2 * w * w)
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			px, py := x+dx, y+dy
+			if px < 1 || px >= img.W-1 || py < 1 || py >= img.H-1 {
+				continue
+			}
+			mag, theta := imgproc.Gradient(img, px, py)
+			if mag == 0 {
+				continue
+			}
+			weight := math.Exp(float64(dx*dx+dy*dy) * inv)
+			bin := int(math.Floor((theta + math.Pi) / (2 * math.Pi) * orientationBins))
+			if bin >= orientationBins {
+				bin = orientationBins - 1
+			}
+			if bin < 0 {
+				bin = 0
+			}
+			hist[bin] += mag * weight
+		}
+	}
+	// Smooth the histogram (twice, circular box filter of width 3).
+	for pass := 0; pass < 2; pass++ {
+		var sm [orientationBins]float64
+		for i := range hist {
+			prev := hist[(i+orientationBins-1)%orientationBins]
+			next := hist[(i+1)%orientationBins]
+			sm[i] = (prev + hist[i] + next) / 3
+		}
+		hist = sm
+	}
+	maxV := 0.0
+	for _, v := range hist {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		return []float64{0}
+	}
+	var oris []float64
+	for i, v := range hist {
+		prev := hist[(i+orientationBins-1)%orientationBins]
+		next := hist[(i+1)%orientationBins]
+		if v < prev || v < next || v < 0.8*maxV {
+			continue
+		}
+		// Parabolic interpolation of the peak position.
+		denom := prev - 2*v + next
+		offset := 0.0
+		if denom != 0 {
+			offset = 0.5 * (prev - next) / denom
+		}
+		bin := float64(i) + offset
+		theta := bin/orientationBins*2*math.Pi - math.Pi + math.Pi/orientationBins
+		if theta > math.Pi {
+			theta -= 2 * math.Pi
+		}
+		if theta < -math.Pi {
+			theta += 2 * math.Pi
+		}
+		oris = append(oris, theta)
+	}
+	if len(oris) == 0 {
+		oris = append(oris, 0)
+	}
+	return oris
+}
+
+const (
+	descGrid    = 4 // 4x4 spatial bins
+	descOriBins = 8 // 8 orientation bins per spatial bin
+)
+
+// computeDescriptor samples gradients in a 16×16 (scaled by sigma) window
+// rotated to the keypoint orientation and accumulates them into the 4×4×8
+// histogram grid, then applies L2 normalization with the 0.2 clamp.
+func computeDescriptor(img *imgproc.Gray, x, y int, sigma, orientation float64) Descriptor {
+	var desc Descriptor
+	binWidth := 3 * sigma // pixels per spatial bin
+	radius := int(math.Round(binWidth * float64(descGrid) / 2 * math.Sqrt2))
+	if radius < 2 {
+		radius = 2
+	}
+	cosT := math.Cos(-orientation)
+	sinT := math.Sin(-orientation)
+	window := float64(descGrid) * binWidth / 2
+	inv := -1 / (2 * window * window)
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			px, py := x+dx, y+dy
+			if px < 1 || px >= img.W-1 || py < 1 || py >= img.H-1 {
+				continue
+			}
+			// Rotate the offset into the keypoint frame.
+			rx := (cosT*float64(dx) - sinT*float64(dy)) / binWidth
+			ry := (sinT*float64(dx) + cosT*float64(dy)) / binWidth
+			// Continuous bin coordinates in [0, 4).
+			bx := rx + float64(descGrid)/2 - 0.5
+			by := ry + float64(descGrid)/2 - 0.5
+			if bx <= -1 || bx >= descGrid || by <= -1 || by >= descGrid {
+				continue
+			}
+			mag, theta := imgproc.Gradient(img, px, py)
+			if mag == 0 {
+				continue
+			}
+			rel := theta - orientation
+			for rel < 0 {
+				rel += 2 * math.Pi
+			}
+			for rel >= 2*math.Pi {
+				rel -= 2 * math.Pi
+			}
+			ob := rel / (2 * math.Pi) * descOriBins
+			weight := mag * math.Exp(float64(dx*dx+dy*dy)*inv)
+			trilinearAccumulate(&desc, bx, by, ob, weight)
+		}
+	}
+	normalizeDescriptor(&desc)
+	return desc
+}
+
+// trilinearAccumulate distributes weight across the neighbouring spatial
+// and orientation bins (standard SIFT trilinear interpolation).
+func trilinearAccumulate(desc *Descriptor, bx, by, ob float64, weight float64) {
+	x0 := int(math.Floor(bx))
+	y0 := int(math.Floor(by))
+	o0 := int(math.Floor(ob))
+	fx := bx - float64(x0)
+	fy := by - float64(y0)
+	fo := ob - float64(o0)
+	for di := 0; di <= 1; di++ {
+		yi := y0 + di
+		if yi < 0 || yi >= descGrid {
+			continue
+		}
+		wy := weight
+		if di == 0 {
+			wy *= 1 - fy
+		} else {
+			wy *= fy
+		}
+		for dj := 0; dj <= 1; dj++ {
+			xi := x0 + dj
+			if xi < 0 || xi >= descGrid {
+				continue
+			}
+			wx := wy
+			if dj == 0 {
+				wx *= 1 - fx
+			} else {
+				wx *= fx
+			}
+			for dk := 0; dk <= 1; dk++ {
+				oi := (o0 + dk) % descOriBins
+				if oi < 0 {
+					oi += descOriBins
+				}
+				wo := wx
+				if dk == 0 {
+					wo *= 1 - fo
+				} else {
+					wo *= fo
+				}
+				desc[(yi*descGrid+xi)*descOriBins+oi] += float32(wo)
+			}
+		}
+	}
+}
+
+// normalizeDescriptor applies L2 normalization, clamps components at 0.2,
+// and renormalizes — the standard illumination-invariance step.
+func normalizeDescriptor(d *Descriptor) {
+	norm := float64(0)
+	for _, v := range d {
+		norm += float64(v) * float64(v)
+	}
+	if norm == 0 {
+		return
+	}
+	norm = math.Sqrt(norm)
+	for i := range d {
+		v := float64(d[i]) / norm
+		if v > 0.2 {
+			v = 0.2
+		}
+		d[i] = float32(v)
+	}
+	norm = 0
+	for _, v := range d {
+		norm += float64(v) * float64(v)
+	}
+	if norm == 0 {
+		return
+	}
+	norm = math.Sqrt(norm)
+	for i := range d {
+		d[i] = float32(float64(d[i]) / norm)
+	}
+}
+
+// L2 returns the Euclidean distance between two descriptors.
+func L2(a, b *Descriptor) float64 {
+	var sum float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,37 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalBinary hardens the frame decoder against arbitrary
+// datagrams: it must never panic and anything it accepts must re-encode
+// and re-decode consistently.
+func FuzzUnmarshalBinary(f *testing.F) {
+	seed, err := sampleFrame().MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0x5c, 0xa7, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr Frame
+		if err := fr.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := fr.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		var again Frame
+		if err := again.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if again.ClientID != fr.ClientID || again.FrameNo != fr.FrameNo ||
+			again.Step != fr.Step || !bytes.Equal(again.Payload, fr.Payload) {
+			t.Fatal("re-encode round trip diverged")
+		}
+	})
+}

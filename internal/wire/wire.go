@@ -1,0 +1,313 @@
+// Package wire defines the frame envelope exchanged between scAtteR
+// services. The paper specifies the intermediary metadata transferred
+// between stages: client ID, frame number, the client's IP address and
+// port, and the current pipeline step — allowing multiple client inputs
+// to map onto the same service instance. scAtteR++ additionally attaches
+// per-stage queueing/processing records (sidecar analytics) to the
+// frame's state.
+//
+// The codec is a versioned big-endian binary format with explicit length
+// prefixes, suitable for UDP datagrams and for the framed RPC transport.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Step identifies the pipeline stage a frame is currently traversing.
+type Step uint8
+
+// Pipeline steps in order. StepDone marks a fully processed frame on its
+// way back to the client.
+const (
+	StepPrimary Step = iota
+	StepSIFT
+	StepEncoding
+	StepLSH
+	StepMatching
+	StepDone
+	NumSteps = int(StepDone) // number of processing services
+)
+
+// String returns the service name used throughout the paper's figures.
+func (s Step) String() string {
+	switch s {
+	case StepPrimary:
+		return "primary"
+	case StepSIFT:
+		return "sift"
+	case StepEncoding:
+		return "encoding"
+	case StepLSH:
+		return "lsh"
+	case StepMatching:
+		return "matching"
+	case StepDone:
+		return "done"
+	default:
+		return fmt.Sprintf("step-%d", uint8(s))
+	}
+}
+
+// Next returns the subsequent pipeline step. Next of StepDone is StepDone.
+func (s Step) Next() Step {
+	if s >= StepDone {
+		return StepDone
+	}
+	return s + 1
+}
+
+// Valid reports whether s names a real step (including StepDone).
+func (s Step) Valid() bool { return s <= StepDone }
+
+// StageRecord is one sidecar analytics sample: how long the frame queued
+// before the service and how long the service processed it.
+type StageRecord struct {
+	Step        Step
+	QueueMicros uint32
+	ProcMicros  uint32
+}
+
+// Frame is the unit of work flowing through the pipeline.
+type Frame struct {
+	ClientID      uint32
+	FrameNo       uint64
+	ClientAddr    netip.AddrPort // where the final result is delivered
+	Step          Step
+	Stateless     bool   // scAtteR++: sift state rides in the payload
+	CaptureMicros uint64 // client capture timestamp (µs since epoch/run start)
+	Payload       []byte
+	Stages        []StageRecord // scAtteR++ sidecar analytics
+}
+
+// Codec constants.
+const (
+	magic         = 0x5CA7 // "SCAT"
+	version       = 1
+	maxPayload    = 8 << 20 // 8 MiB guards against corrupt length fields
+	maxStages     = 64
+	fixedHdrBytes = 2 + 1 + 4 + 8 + 1 + 1 + 8 + 1 // magic..addrLen (before addr)
+)
+
+// Codec errors.
+var (
+	ErrShortBuffer = errors.New("wire: short buffer")
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrTooLarge    = errors.New("wire: field exceeds limit")
+)
+
+// MarshalBinary encodes the frame.
+func (f *Frame) MarshalBinary() ([]byte, error) {
+	if len(f.Payload) > maxPayload {
+		return nil, fmt.Errorf("%w: payload %d bytes", ErrTooLarge, len(f.Payload))
+	}
+	if len(f.Stages) > maxStages {
+		return nil, fmt.Errorf("%w: %d stage records", ErrTooLarge, len(f.Stages))
+	}
+	var addr []byte
+	if f.ClientAddr.IsValid() {
+		b, err := f.ClientAddr.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("wire: marshal addr: %w", err)
+		}
+		addr = b
+	}
+	if len(addr) > 255 {
+		return nil, fmt.Errorf("%w: address %d bytes", ErrTooLarge, len(addr))
+	}
+	size := fixedHdrBytes + len(addr) + 1 + len(f.Stages)*9 + 4 + len(f.Payload)
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint16(buf, magic)
+	buf = append(buf, version)
+	buf = binary.BigEndian.AppendUint32(buf, f.ClientID)
+	buf = binary.BigEndian.AppendUint64(buf, f.FrameNo)
+	buf = append(buf, byte(f.Step))
+	var flags byte
+	if f.Stateless {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint64(buf, f.CaptureMicros)
+	buf = append(buf, byte(len(addr)))
+	buf = append(buf, addr...)
+	buf = append(buf, byte(len(f.Stages)))
+	for _, s := range f.Stages {
+		buf = append(buf, byte(s.Step))
+		buf = binary.BigEndian.AppendUint32(buf, s.QueueMicros)
+		buf = binary.BigEndian.AppendUint32(buf, s.ProcMicros)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Payload)))
+	buf = append(buf, f.Payload...)
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a frame previously produced by MarshalBinary.
+// The payload is copied out of data, so the caller may reuse its buffer.
+func (f *Frame) UnmarshalBinary(data []byte) error {
+	r := reader{buf: data}
+	m, err := r.u16()
+	if err != nil {
+		return err
+	}
+	if m != magic {
+		return ErrBadMagic
+	}
+	v, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if v != version {
+		return fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	if f.ClientID, err = r.u32(); err != nil {
+		return err
+	}
+	if f.FrameNo, err = r.u64(); err != nil {
+		return err
+	}
+	step, err := r.u8()
+	if err != nil {
+		return err
+	}
+	f.Step = Step(step)
+	if !f.Step.Valid() {
+		return fmt.Errorf("wire: invalid step %d", step)
+	}
+	flags, err := r.u8()
+	if err != nil {
+		return err
+	}
+	f.Stateless = flags&1 != 0
+	if f.CaptureMicros, err = r.u64(); err != nil {
+		return err
+	}
+	addrLen, err := r.u8()
+	if err != nil {
+		return err
+	}
+	addrBytes, err := r.bytes(int(addrLen))
+	if err != nil {
+		return err
+	}
+	f.ClientAddr = netip.AddrPort{}
+	if addrLen > 0 {
+		if err := f.ClientAddr.UnmarshalBinary(addrBytes); err != nil {
+			return fmt.Errorf("wire: unmarshal addr: %w", err)
+		}
+	}
+	nStages, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if int(nStages) > maxStages {
+		return fmt.Errorf("%w: %d stage records", ErrTooLarge, nStages)
+	}
+	f.Stages = f.Stages[:0]
+	for i := 0; i < int(nStages); i++ {
+		var s StageRecord
+		st, err := r.u8()
+		if err != nil {
+			return err
+		}
+		s.Step = Step(st)
+		if s.QueueMicros, err = r.u32(); err != nil {
+			return err
+		}
+		if s.ProcMicros, err = r.u32(); err != nil {
+			return err
+		}
+		f.Stages = append(f.Stages, s)
+	}
+	payLen, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if payLen > maxPayload {
+		return fmt.Errorf("%w: payload %d bytes", ErrTooLarge, payLen)
+	}
+	pay, err := r.bytes(int(payLen))
+	if err != nil {
+		return err
+	}
+	f.Payload = append(f.Payload[:0], pay...)
+	return nil
+}
+
+// AddStage appends a sidecar analytics record, silently dropping records
+// beyond the codec limit (analytics are best-effort).
+func (f *Frame) AddStage(step Step, queueMicros, procMicros uint32) {
+	if len(f.Stages) >= maxStages {
+		return
+	}
+	f.Stages = append(f.Stages, StageRecord{Step: step, QueueMicros: queueMicros, ProcMicros: procMicros})
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	out := *f
+	out.Payload = append([]byte(nil), f.Payload...)
+	out.Stages = append([]StageRecord(nil), f.Stages...)
+	return &out
+}
+
+// reader is a bounds-checked big-endian cursor.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) need(n int) error {
+	if r.off+n > len(r.buf) {
+		return ErrShortBuffer
+	}
+	return nil
+}
+
+func (r *reader) u8() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if err := r.need(n); err != nil {
+		return nil, err
+	}
+	v := r.buf[r.off : r.off+n]
+	r.off += n
+	return v, nil
+}

@@ -1,0 +1,282 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func sampleFrame() *Frame {
+	return &Frame{
+		ClientID:      3,
+		FrameNo:       1234567,
+		ClientAddr:    netip.MustParseAddrPort("10.0.0.7:9000"),
+		Step:          StepEncoding,
+		Stateless:     true,
+		CaptureMicros: 987654321,
+		Payload:       []byte("descriptor payload"),
+		Stages: []StageRecord{
+			{Step: StepPrimary, QueueMicros: 150, ProcMicros: 4000},
+			{Step: StepSIFT, QueueMicros: 900, ProcMicros: 14000},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := sampleFrame()
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Frame
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.ClientID != f.ClientID || g.FrameNo != f.FrameNo || g.Step != f.Step ||
+		g.Stateless != f.Stateless || g.CaptureMicros != f.CaptureMicros {
+		t.Errorf("header mismatch: %+v vs %+v", g, f)
+	}
+	if g.ClientAddr != f.ClientAddr {
+		t.Errorf("addr = %v, want %v", g.ClientAddr, f.ClientAddr)
+	}
+	if !bytes.Equal(g.Payload, f.Payload) {
+		t.Errorf("payload = %q", g.Payload)
+	}
+	if len(g.Stages) != len(f.Stages) {
+		t.Fatalf("stages = %d, want %d", len(g.Stages), len(f.Stages))
+	}
+	for i := range g.Stages {
+		if g.Stages[i] != f.Stages[i] {
+			t.Errorf("stage %d = %+v, want %+v", i, g.Stages[i], f.Stages[i])
+		}
+	}
+}
+
+func TestRoundTripIPv6(t *testing.T) {
+	f := sampleFrame()
+	f.ClientAddr = netip.MustParseAddrPort("[2001:db8::1]:8080")
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Frame
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.ClientAddr != f.ClientAddr {
+		t.Errorf("addr = %v, want %v", g.ClientAddr, f.ClientAddr)
+	}
+}
+
+func TestRoundTripNoAddr(t *testing.T) {
+	f := &Frame{ClientID: 1, FrameNo: 2, Step: StepPrimary}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Frame
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.ClientAddr.IsValid() {
+		t.Errorf("addr = %v, want invalid", g.ClientAddr)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var f Frame
+	if err := f.UnmarshalBinary(nil); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("nil buffer err = %v", err)
+	}
+	if err := f.UnmarshalBinary([]byte{0, 0, 1}); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic err = %v", err)
+	}
+	good, err := sampleFrame().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[2] = 99 // version byte
+	if err := f.UnmarshalBinary(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version err = %v", err)
+	}
+	// Truncations at every length must error, never panic.
+	for cut := 0; cut < len(good); cut++ {
+		if err := f.UnmarshalBinary(good[:cut]); err == nil {
+			t.Errorf("truncation at %d decoded successfully", cut)
+		}
+	}
+}
+
+func TestInvalidStepRejected(t *testing.T) {
+	good, err := sampleFrame().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step byte is at offset 2+1+4+8 = 15.
+	bad := append([]byte(nil), good...)
+	bad[15] = 200
+	var f Frame
+	if err := f.UnmarshalBinary(bad); err == nil {
+		t.Error("invalid step accepted")
+	}
+}
+
+func TestMarshalLimits(t *testing.T) {
+	f := &Frame{Payload: make([]byte, maxPayload+1)}
+	if _, err := f.MarshalBinary(); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized payload err = %v", err)
+	}
+	f = &Frame{Stages: make([]StageRecord, maxStages+1)}
+	if _, err := f.MarshalBinary(); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("too many stages err = %v", err)
+	}
+}
+
+func TestAddStageCaps(t *testing.T) {
+	f := &Frame{}
+	for i := 0; i < maxStages+10; i++ {
+		f.AddStage(StepPrimary, 1, 2)
+	}
+	if len(f.Stages) != maxStages {
+		t.Errorf("stages = %d, want cap %d", len(f.Stages), maxStages)
+	}
+}
+
+func TestClone(t *testing.T) {
+	f := sampleFrame()
+	c := f.Clone()
+	c.Payload[0] = 'X'
+	c.Stages[0].QueueMicros = 1
+	if f.Payload[0] == 'X' {
+		t.Error("Clone shares payload")
+	}
+	if f.Stages[0].QueueMicros == 1 {
+		t.Error("Clone shares stages")
+	}
+}
+
+func TestStepString(t *testing.T) {
+	want := map[Step]string{
+		StepPrimary: "primary", StepSIFT: "sift", StepEncoding: "encoding",
+		StepLSH: "lsh", StepMatching: "matching", StepDone: "done",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), name)
+		}
+	}
+	if Step(77).String() != "step-77" {
+		t.Errorf("unknown step string = %q", Step(77).String())
+	}
+}
+
+func TestStepNext(t *testing.T) {
+	order := []Step{StepPrimary, StepSIFT, StepEncoding, StepLSH, StepMatching, StepDone}
+	for i := 0; i < len(order)-1; i++ {
+		if order[i].Next() != order[i+1] {
+			t.Errorf("%v.Next() = %v, want %v", order[i], order[i].Next(), order[i+1])
+		}
+	}
+	if StepDone.Next() != StepDone {
+		t.Error("StepDone.Next() != StepDone")
+	}
+}
+
+func TestNumSteps(t *testing.T) {
+	if NumSteps != 5 {
+		t.Errorf("NumSteps = %d, want 5 (the five scAtteR services)", NumSteps)
+	}
+}
+
+// Property: any frame with in-range fields round-trips exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fr := &Frame{
+			ClientID:      rng.Uint32(),
+			FrameNo:       rng.Uint64(),
+			Step:          Step(rng.Intn(int(StepDone) + 1)),
+			Stateless:     rng.Intn(2) == 1,
+			CaptureMicros: rng.Uint64(),
+			Payload:       make([]byte, rng.Intn(2048)),
+		}
+		rng.Read(fr.Payload)
+		if rng.Intn(2) == 1 {
+			var ip [4]byte
+			rng.Read(ip[:])
+			fr.ClientAddr = netip.AddrPortFrom(netip.AddrFrom4(ip), uint16(rng.Intn(65536)))
+		}
+		n := rng.Intn(5)
+		for i := 0; i < n; i++ {
+			fr.AddStage(Step(rng.Intn(int(StepDone)+1)), rng.Uint32(), rng.Uint32())
+		}
+		data, err := fr.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var g Frame
+		if err := g.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		if g.ClientID != fr.ClientID || g.FrameNo != fr.FrameNo || g.Step != fr.Step ||
+			g.Stateless != fr.Stateless || g.CaptureMicros != fr.CaptureMicros ||
+			g.ClientAddr != fr.ClientAddr || !bytes.Equal(g.Payload, fr.Payload) ||
+			len(g.Stages) != len(fr.Stages) {
+			return false
+		}
+		for i := range g.Stages {
+			if g.Stages[i] != fr.Stages[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random garbage never panics the decoder.
+func TestUnmarshalFuzzProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		var fr Frame
+		_ = fr.UnmarshalBinary(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	f := sampleFrame()
+	f.Payload = make([]byte, 180<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	f := sampleFrame()
+	f.Payload = make([]byte, 180<<10)
+	data, err := f.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var g Frame
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package scatter is the public API of the scAtteR / scAtteR++
+// reproduction: a distributed stream-processing augmented-reality
+// pipeline (primary → sift → encoding → lsh → matching), an
+// Oakestra-style hierarchical edge orchestrator, a real UDP/RPC runtime
+// executing pure-Go vision algorithms, and a deterministic edge-cloud
+// testbed simulator that regenerates every figure of the CoNEXT 2023
+// paper "Characterizing Distributed Mobile Augmented Reality
+// Applications at the Edge".
+//
+// The package is a facade over the internal implementation:
+//
+//   - Pipeline semantics and the simulated testbed: Pipeline, Placement,
+//     Options, Mode (scAtteR vs scAtteR++), NewWorld, RunExperiment.
+//   - Real vision processing: Train builds a recognition Model from
+//     reference images; NewProcessors returns the five services; the
+//     agent types run them over UDP with sidecars and state-fetch RPC.
+//   - Orchestration: NewOrchestrator, SLA, and the HTTP control plane.
+//   - Experiments: the Fig2…Fig12 and Headline runners regenerate the
+//     paper's evaluation.
+//
+// See examples/ for runnable entry points and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package scatter
+
+import (
+	"time"
+
+	"github.com/edge-mar/scatter/internal/agent"
+	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/experiments"
+	"github.com/edge-mar/scatter/internal/metrics"
+	"github.com/edge-mar/scatter/internal/netem"
+	"github.com/edge-mar/scatter/internal/orchestrator"
+	"github.com/edge-mar/scatter/internal/testbed"
+	"github.com/edge-mar/scatter/internal/trace"
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+// Pipeline identifiers and semantics.
+type (
+	// Mode selects scAtteR (stateful, drop-if-busy) or scAtteR++
+	// (stateless sift + sidecar queues).
+	Mode = core.Mode
+	// Options tunes pipeline semantics (threshold, queue capacity,
+	// fetch/state timeouts).
+	Options = core.Options
+	// Step identifies a pipeline stage.
+	Step = wire.Step
+	// Frame is the envelope exchanged between services.
+	Frame = wire.Frame
+)
+
+// Pipeline modes.
+const (
+	ModeScatter   = core.ModeScatter
+	ModeScatterPP = core.ModeScatterPP
+)
+
+// Pipeline steps.
+const (
+	StepPrimary  = wire.StepPrimary
+	StepSIFT     = wire.StepSIFT
+	StepEncoding = wire.StepEncoding
+	StepLSH      = wire.StepLSH
+	StepMatching = wire.StepMatching
+	StepDone     = wire.StepDone
+)
+
+// Vision model and real processors.
+type (
+	// Model is a trained recognition model (PCA + Fisher + LSH +
+	// reference features).
+	Model = core.Model
+	// TrainConfig controls model building.
+	TrainConfig = core.TrainConfig
+	// Processor is one real pipeline service.
+	Processor = core.Processor
+	// Payload is the typed frame content of the real pipeline.
+	Payload = core.Payload
+	// Detection is a recognized/tracked object with bounding box.
+	Detection = core.Detection
+	// ReferenceImage is a canonical training view of one object.
+	ReferenceImage = trace.ReferenceImage
+	// VideoSource generates the synthetic workplace clip.
+	VideoSource = trace.Generator
+	// VideoConfig parameterizes the synthetic clip.
+	VideoConfig = trace.Config
+)
+
+// Train builds a recognition model from reference images.
+func Train(refs []ReferenceImage, cfg TrainConfig) (*Model, error) {
+	return core.Train(refs, cfg)
+}
+
+// NewProcessors returns the five real services over a trained model.
+func NewProcessors(m *Model, stateless bool, analysisW, analysisH int) [wire.NumSteps]Processor {
+	return core.NewProcessors(m, stateless, analysisW, analysisH)
+}
+
+// NewFastProcessors is NewProcessors with the ORB fast extractor at the
+// detection stage (train the model with TrainConfig.FastExtractor).
+func NewFastProcessors(m *Model, stateless bool, analysisW, analysisH int) [wire.NumSteps]Processor {
+	return core.NewFastProcessors(m, stateless, analysisW, analysisH)
+}
+
+// NewVideoSource creates the deterministic synthetic clip generator.
+func NewVideoSource(cfg VideoConfig) *VideoSource { return trace.NewGenerator(cfg) }
+
+// FramePayload renders frame i of the clip (wrapping at the end) and
+// encodes it as the payload a client submits to the pipeline ingress.
+func FramePayload(src *VideoSource, i int) []byte {
+	img := src.GrayFrame(i % src.NumFrames())
+	return (&core.Payload{Image: core.GrayToPayload(img)}).Encode()
+}
+
+// DecodeResult extracts the detections from a completed frame's payload.
+func DecodeResult(payload []byte) ([]Detection, error) {
+	p, err := core.DecodePayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	return p.Detections, nil
+}
+
+// Real-mode runtime (UDP workers, sidecars, clients).
+type (
+	// Worker is a running service instance.
+	Worker = agent.Worker
+	// WorkerConfig configures a worker.
+	WorkerConfig = agent.WorkerConfig
+	// WorkerStats are a worker's counters (sidecar analytics).
+	WorkerStats = agent.WorkerStats
+	// Router resolves next-hop addresses.
+	Router = agent.Router
+	// StaticRouter is a fixed round-robin routing table.
+	StaticRouter = agent.StaticRouter
+	// Client streams frames into a deployment.
+	Client = agent.Client
+	// ClientConfig configures a streaming client.
+	ClientConfig = agent.ClientConfig
+	// ClientResult is one processed frame observed by a client.
+	ClientResult = agent.ClientResult
+)
+
+// StartWorker launches a real service worker.
+func StartWorker(cfg WorkerConfig) (*Worker, error) { return agent.StartWorker(cfg) }
+
+// StartClient launches a real streaming client.
+func StartClient(cfg ClientConfig) (*Client, error) { return agent.StartClient(cfg) }
+
+// NewStaticRouter builds a fixed routing table.
+func NewStaticRouter(hops map[Step][]string) *StaticRouter { return agent.NewStaticRouter(hops) }
+
+// RPCStateFetcher connects matching to a remote sift's state store.
+func RPCStateFetcher(addr string, timeout time.Duration) core.StateFetcher {
+	return agent.RPCStateFetcher(addr, timeout)
+}
+
+// Orchestration.
+type (
+	// Orchestrator is the Oakestra-style root orchestrator.
+	Orchestrator = orchestrator.Root
+	// SLA is an application service-level agreement.
+	SLA = orchestrator.SLA
+	// ServiceSLA describes one microservice in an SLA.
+	ServiceSLA = orchestrator.ServiceSLA
+	// Requirements constrain placements.
+	Requirements = orchestrator.Requirements
+	// NodeInfo describes a worker node.
+	NodeInfo = orchestrator.NodeInfo
+	// NodeStatus is a node's hardware telemetry report.
+	NodeStatus = orchestrator.NodeStatus
+	// Deployment is a scheduling outcome.
+	Deployment = orchestrator.Deployment
+	// APIServer is the HTTP control plane.
+	APIServer = orchestrator.APIServer
+)
+
+// NewOrchestrator creates a root orchestrator.
+func NewOrchestrator(opts ...orchestrator.Option) *Orchestrator {
+	return orchestrator.NewRoot(opts...)
+}
+
+// NewAPIServer wraps an orchestrator with the HTTP control plane.
+func NewAPIServer(root *Orchestrator) *APIServer { return orchestrator.NewAPIServer(root) }
+
+// NodeStatusAt builds an otherwise-empty telemetry report stamped at t —
+// a heartbeat.
+func NodeStatusAt(t time.Time) NodeStatus { return NodeStatus{LastHeartbeat: t} }
+
+// Simulated testbed and experiments.
+type (
+	// World is a simulated instantiation of the paper's testbed.
+	World = experiments.World
+	// RunSpec describes one simulated run.
+	RunSpec = experiments.RunSpec
+	// RunPoint is a measured outcome.
+	RunPoint = experiments.RunPoint
+	// Report is a renderable experiment report.
+	Report = experiments.Report
+	// Summary is the QoS digest of a run.
+	Summary = metrics.Summary
+	// MachineConfig describes a simulated machine.
+	MachineConfig = testbed.MachineConfig
+	// LinkConfig describes an emulated network link.
+	LinkConfig = netem.LinkConfig
+	// HeadlineResult holds the paper's headline comparison scalars.
+	HeadlineResult = experiments.HeadlineResult
+)
+
+// Placement assigns pipeline steps to machine replicas.
+type Placement = core.Placement
+
+// NewWorld builds the simulated E1/E2/cloud testbed.
+func NewWorld(seed int64) *World { return experiments.NewWorld(seed) }
+
+// RunExperiment executes one simulated run.
+func RunExperiment(spec RunSpec) RunPoint { return experiments.Run(spec) }
+
+// Placement builders for the paper's deployment configurations.
+var (
+	// PlacementC1 puts every service on E1.
+	PlacementC1 = experiments.ConfigC1
+	// PlacementC2 puts every service on E2.
+	PlacementC2 = experiments.ConfigC2
+	// PlacementC12 is [E1,E1,E2,E2,E2].
+	PlacementC12 = experiments.ConfigC12
+	// PlacementC21 is [E2,E2,E1,E1,E1].
+	PlacementC21 = experiments.ConfigC21
+	// PlacementCloud puts every service on the AWS VM.
+	PlacementCloud = experiments.ConfigCloud
+	// PlacementHybrid is [E1,C,C,C,C].
+	PlacementHybrid = experiments.ConfigHybrid
+	// PlacementScaled builds a replication vector on E2 with extra
+	// replicas on E1, e.g. PlacementScaled([5]int{1,2,2,1,2}).
+	PlacementScaled = experiments.ConfigScaled
+)
+
+// Experiment runners, one per paper figure. Each returns the measured
+// points and a renderable report. Duration is the virtual run length per
+// point (use experiments.DefaultDuration, 60 s, for CLI-grade numbers).
+var (
+	Fig2     = experiments.Fig2
+	Fig3     = experiments.Fig3
+	Fig4     = experiments.Fig4
+	Fig6     = experiments.Fig6
+	Fig7     = experiments.Fig7
+	Fig9     = experiments.Fig9
+	Fig10    = experiments.Fig10
+	Fig11    = experiments.Fig11
+	Headline = experiments.Headline
+)
+
+// AppAware runs the §6 future-work extension: autoscaling policies
+// driven by hardware telemetry vs sidecar QoS analytics.
+var AppAware = experiments.AppAware
+
+// Fig8 regenerates the staged sidecar analytics on the scaled cluster.
+func Fig8() (RunPoint, Report) { return experiments.Fig8() }
+
+// Fig12 regenerates the staged sidecar analytics on E1.
+func Fig12() (RunPoint, Report) { return experiments.Fig12() }
+
+// DefaultDuration is the standard virtual run length per experiment point.
+const DefaultDuration = experiments.DefaultDuration
+
+// Testbed machine profiles from the paper (§3.2).
+var (
+	MachineE1    = testbed.E1
+	MachineE2    = testbed.E2
+	MachineCloud = testbed.Cloud
+)
+
+// Network profiles from the paper (§3.2, §A.1.1).
+var (
+	LinkLTE      = netem.LTE
+	Link5G       = netem.FiveG
+	LinkWiFi6    = netem.WiFi6
+	LinkCloudWAN = netem.CloudWAN
+	WithMobility = netem.WithMobility
+)

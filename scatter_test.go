@@ -1,0 +1,102 @@
+package scatter
+
+import (
+	"testing"
+	"time"
+)
+
+// The facade tests exercise the library exactly as a downstream user
+// would: train a model, run the in-process pipeline, simulate a
+// deployment, and schedule an SLA.
+
+func TestPublicPipelineRoundTrip(t *testing.T) {
+	video := NewVideoSource(VideoConfig{W: 320, H: 180, FPS: 10, Seconds: 1, Seed: 7})
+	model, err := Train(video.ReferenceImages(), TrainConfig{GMMK: 4, GMMIters: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := NewProcessors(model, true, 320, 180)
+	fr := &Frame{ClientID: 1, FrameNo: 1, Step: StepPrimary, Payload: FramePayload(video, 0)}
+	for step := range procs {
+		if err := procs[step].Process(fr); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	if fr.Step != StepDone {
+		t.Fatalf("final step = %v", fr.Step)
+	}
+	dets, err := DecodeResult(fr.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) == 0 {
+		t.Error("no detections through the public API")
+	}
+}
+
+func TestPublicSimulation(t *testing.T) {
+	pt := RunExperiment(RunSpec{
+		Name:      "facade",
+		Mode:      ModeScatterPP,
+		Placement: PlacementC1,
+		Clients:   2,
+		Duration:  10 * time.Second,
+		Seed:      3,
+	})
+	if pt.Summary.FPSPerClient < 20 {
+		t.Errorf("fps = %.1f", pt.Summary.FPSPerClient)
+	}
+	if pt.Services["sift"].MemBytes == 0 {
+		t.Error("service usage missing")
+	}
+}
+
+func TestPublicOrchestrator(t *testing.T) {
+	orch := NewOrchestrator()
+	if err := orch.RegisterNode(NodeInfo{
+		Name: "n1", Cluster: "edge", CPUCores: 8, GPUs: 1, GPUArch: "ampere", MemBytes: 32 << 30,
+	}, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := orch.Deploy(SLA{
+		AppName: "app",
+		Microservices: []ServiceSLA{{
+			Name: "sift", Image: "x", Replicas: 1,
+			Requirements: Requirements{NeedsGPU: true},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dep.Instances) != 1 || dep.Instances[0].Node != "n1" {
+		t.Errorf("deployment = %+v", dep)
+	}
+	if NewAPIServer(orch).Handler() == nil {
+		t.Error("nil API handler")
+	}
+}
+
+func TestPublicMachineAndLinkProfiles(t *testing.T) {
+	if MachineE1().Name != "E1" || MachineE2().Name != "E2" || MachineCloud().Name != "cloud" {
+		t.Error("machine profiles broken")
+	}
+	if LinkLTE().RTT != 40*time.Millisecond || Link5G().RTT != 10*time.Millisecond {
+		t.Error("link profiles broken")
+	}
+	m := WithMobility(LinkWiFi6())
+	if m.OscillationProb == 0 {
+		t.Error("mobility profile broken")
+	}
+	if LinkCloudWAN().Loss == 0 {
+		t.Error("WAN loss missing")
+	}
+}
+
+func TestModeAndStepNames(t *testing.T) {
+	if ModeScatter.String() != "scAtteR" || ModeScatterPP.String() != "scAtteR++" {
+		t.Error("mode names")
+	}
+	if StepPrimary.String() != "primary" || StepMatching.String() != "matching" {
+		t.Error("step names")
+	}
+}
