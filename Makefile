@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz figures examples clean
+.PHONY: all build vet test race cover bench fuzz figures examples clean
 
 all: build test
 
@@ -10,8 +10,14 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
+vet:
+	$(GO) vet ./...
+
+# The concurrent observability layer (live registry, span recorder, real
+# runtime instrumentation) always gets a race pass.
 test:
 	$(GO) test ./...
+	$(GO) test -race ./internal/obs ./internal/agent
 
 race:
 	$(GO) test -race ./...

@@ -20,8 +20,14 @@
 //	  "routes": {
 //	    "sift": ["127.0.0.1:7002"], "encoding": ["127.0.0.1:7003"],
 //	    "lsh": ["127.0.0.1:7004"], "matching": ["127.0.0.1:7005"]
-//	  }
+//	  },
+//	  "obs_listen": "127.0.0.1:9100",
+//	  "trace_spans": true
 //	}
+//
+// obs_listen serves live telemetry (/metrics, /metrics.json, /healthz,
+// /debug/vars, /debug/pprof); trace_spans stamps per-service spans onto
+// frames for end-to-end trace reconstruction at the client.
 //
 // Split deployments run scatter-node on several machines with routes
 // pointing across hosts, exactly as the paper pins services to E1/E2.
@@ -42,6 +48,7 @@ import (
 
 	"github.com/edge-mar/scatter/internal/agent"
 	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/obs"
 	"github.com/edge-mar/scatter/internal/orchestrator"
 	"github.com/edge-mar/scatter/internal/trace"
 	"github.com/edge-mar/scatter/internal/wire"
@@ -66,6 +73,34 @@ type nodeConfig struct {
 	// registers with and heartbeats to.
 	Orchestrator string                 `json:"orchestrator,omitempty"`
 	Node         *orchestrator.NodeInfo `json:"node,omitempty"`
+	// ObsListen, when set, serves the live telemetry endpoints
+	// (/metrics, /metrics.json, /healthz, /debug/vars, /debug/pprof) on
+	// this address.
+	ObsListen string `json:"obs_listen,omitempty"`
+	// TraceSpans stamps a per-service span onto every processed frame so
+	// clients can reconstruct queue-wait vs processing segments. Off by
+	// default: benchmark runs carry no tracing overhead.
+	TraceSpans bool `json:"trace_spans,omitempty"`
+}
+
+// telemetryDigest converts the node's live registry digest into the
+// heartbeat's wire shape. The conversion lives here so the orchestrator
+// package stays decoupled from the obs implementation.
+func telemetryDigest(reg *obs.Registry) []orchestrator.ServiceTelemetry {
+	digest := reg.Digest()
+	out := make([]orchestrator.ServiceTelemetry, 0, len(digest))
+	for _, d := range digest {
+		out = append(out, orchestrator.ServiceTelemetry{
+			Service:   d.Service,
+			Arrived:   d.Arrived,
+			Processed: d.Processed,
+			Dropped:   d.Dropped,
+			DropRatio: d.DropRatio,
+			QueueLen:  d.QueueLen,
+			P95Micros: d.P95Micros,
+		})
+	}
+	return out
 }
 
 func parseStep(name string) (wire.Step, error) {
@@ -138,6 +173,14 @@ func main() {
 	}
 	router := agent.NewStaticRouter(hops)
 
+	// Live metrics registry shared by every worker on this node; the
+	// span host label prefers the orchestrator node name.
+	reg := obs.NewRegistry()
+	hostLabel := ""
+	if cfg.Node != nil {
+		hostLabel = cfg.Node.Name
+	}
+
 	stateless := mode == core.ModeScatterPP
 	var workers []*agent.Worker
 	for _, svc := range cfg.Services {
@@ -176,6 +219,9 @@ func main() {
 			StateRPCListen: svc.StateRPC,
 			Network:        cfg.Network,
 			Log:            log,
+			Obs:            reg,
+			Host:           hostLabel,
+			TraceSpans:     cfg.TraceSpans,
 		})
 		if err != nil {
 			log.Error("start worker", "service", svc.Step, "err", err)
@@ -189,9 +235,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	if cfg.ObsListen != "" {
+		srv, addr, err := obs.Serve(cfg.ObsListen, reg, nil)
+		if err != nil {
+			log.Error("serve telemetry", "err", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		log.Info("telemetry up", "addr", addr)
+	}
+
 	// Optional control-plane integration: register and heartbeat host
-	// telemetry (hardware-level only — exactly the orchestrator view the
-	// paper critiques as insufficient for AR QoS).
+	// telemetry. Hardware metrics alone are the orchestrator view the
+	// paper critiques as insufficient for AR QoS; the heartbeat also
+	// carries this node's live application digest (the §6 extension) so
+	// app-aware policies at the root can read drop ratios directly.
 	if cfg.Orchestrator != "" {
 		if cfg.Node == nil {
 			hostname, _ := os.Hostname()
@@ -211,6 +269,7 @@ func main() {
 			return orchestrator.NodeStatus{
 				MemUsed:       int64(ms.Alloc),
 				LastHeartbeat: time.Now(),
+				Services:      telemetryDigest(reg),
 			}
 		}, func(err error) {
 			log.Warn("heartbeat", "err", err)

@@ -9,13 +9,18 @@
 //
 // Node agents register via POST /api/v1/nodes and heartbeat via
 // POST /api/v1/nodes/{name}/heartbeat; applications deploy by POSTing an
-// SLA document to /api/v1/apps.
+// SLA document to /api/v1/apps. The same listener also serves /healthz,
+// Prometheus-style /metrics (node liveness plus the per-service
+// application telemetry aggregated from heartbeats), the aggregated JSON
+// at /api/v1/telemetry, /debug/vars, and /debug/pprof.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -53,8 +58,17 @@ func main() {
 		}
 	}()
 
+	mux := http.NewServeMux()
+	mux.Handle("/", api.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
 	log.Info("root orchestrator listening", "addr", *listen)
-	if err := http.ListenAndServe(*listen, api.Handler()); err != nil {
+	if err := http.ListenAndServe(*listen, mux); err != nil {
 		log.Error("serve", "err", err)
 		os.Exit(1)
 	}

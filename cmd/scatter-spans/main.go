@@ -1,0 +1,92 @@
+// Command scatter-spans produces Chrome trace-event JSON (loadable in
+// Perfetto or chrome://tracing) from per-frame pipeline spans. Hosts
+// become trace processes, services threads, and every frame a flow of
+// queue-wait and processing slices — the visual form of the paper's
+// queueing analysis.
+//
+// Two modes:
+//
+//	scatter-spans -out trace.json                  # run a traced simulation
+//	scatter-spans -in spans.json -out trace.json   # convert a span dump
+//
+// The simulation mode runs the C12 two-host deployment (primary+sift on
+// E1, the tail on E2) with span tracing enabled and exports whatever it
+// recorded. The convert mode reads a JSON array of spans — the shape
+// /spans on a telemetry endpoint returns — and renders it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/experiments"
+	"github.com/edge-mar/scatter/internal/obs"
+)
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "scatter-spans: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	in := flag.String("in", "", "JSON span dump to convert (default: run a traced simulation)")
+	out := flag.String("out", "trace.json", "output Chrome trace file")
+	mode := flag.String("mode", "scatter++", "simulated pipeline mode: scatter or scatter++")
+	clients := flag.Int("clients", 3, "simulated concurrent clients")
+	duration := flag.Duration("duration", 10*time.Second, "simulated run length (virtual time)")
+	maxSpans := flag.Int("max-spans", 0, "span recorder bound (0 = default)")
+	flag.Parse()
+
+	var spans []obs.Span
+	if *in != "" {
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			fail(err)
+		}
+		if err := json.Unmarshal(data, &spans); err != nil {
+			fail(fmt.Errorf("parse %s: %w", *in, err))
+		}
+		spans = obs.Normalize(spans)
+	} else {
+		m := core.ModeScatter
+		switch strings.ToLower(*mode) {
+		case "scatter":
+		case "scatter++", "scatterpp":
+			m = core.ModeScatterPP
+		default:
+			fail(fmt.Errorf("unknown mode %q", *mode))
+		}
+		pt := experiments.Run(experiments.RunSpec{
+			Name:          "spans-" + m.String(),
+			Mode:          m,
+			Placement:     experiments.ConfigC12,
+			Clients:       *clients,
+			Duration:      *duration,
+			Trace:         true,
+			TraceMaxSpans: *maxSpans,
+		})
+		spans = pt.Spans()
+		fmt.Printf("simulated %s, %d clients, %v: %d spans, %.1f%% frames delivered\n",
+			m, *clients, *duration, len(spans), pt.Summary.SuccessRate*100)
+	}
+	if len(spans) == 0 {
+		fail(fmt.Errorf("no spans to export"))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	if err := obs.WriteChromeTrace(f, spans); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d spans to %s\n", len(spans), *out)
+}

@@ -4,12 +4,22 @@
 // vision algorithms (scAtteR++ wiring with sidecar queues), and a client
 // streams the synthetic clip and prints live results.
 //
+// The run exercises the observability layer end to end: workers feed a
+// shared live metrics registry served over HTTP (scraped mid-stream,
+// like an orchestrator would), stamp per-service spans onto every frame,
+// and the collected spans are exported as Chrome trace-event JSON
+// (realnet-trace.json) for Perfetto / chrome://tracing.
+//
 //	go run ./examples/realnet
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"os"
+	"strings"
 	"time"
 
 	scatter "github.com/edge-mar/scatter"
@@ -46,12 +56,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	placedOn := map[string]string{}
 	fmt.Println("orchestrator placement:")
 	for _, inst := range deployment.Instances {
+		placedOn[inst.Service] = inst.Node
 		fmt.Printf("  %-9s -> %s\n", inst.Service, inst.Node)
 	}
 
 	// 3. Data plane: start a real UDP worker for each placed instance.
+	//    Every worker feeds the shared live registry and stamps a span
+	//    onto each frame it processes, labelled with its placement node.
 	video := scatter.NewVideoSource(scatter.VideoConfig{W: 320, H: 180, FPS: 10, Seconds: 2, Seed: 7})
 	model, err := scatter.Train(video.ReferenceImages(), scatter.TrainConfig{})
 	if err != nil {
@@ -59,6 +73,7 @@ func main() {
 	}
 	procs := scatter.NewProcessors(model, true, 320, 180) // scAtteR++ wiring
 
+	reg := scatter.NewObsRegistry()
 	table := map[scatter.Step][]string{}
 	router := scatter.NewStaticRouter(nil)
 	late := lateRouter{inner: func(step scatter.Step) (string, bool) { return router.Next(step) }}
@@ -68,6 +83,7 @@ func main() {
 		w, err := scatter.StartWorker(scatter.WorkerConfig{
 			Step: step, Mode: scatter.ModeScatterPP, Processor: procs[step],
 			ListenAddr: "127.0.0.1:0", Router: late,
+			Obs: reg, Host: placedOn[step.String()], TraceSpans: true,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -79,9 +95,17 @@ func main() {
 	}
 	router.SetRoutes(table)
 
+	// Telemetry endpoint, the node-local view an orchestrator scrapes.
+	obsSrv, obsAddr, err := scatter.ServeObs("127.0.0.1:0", reg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer obsSrv.Close()
+	fmt.Printf("  telemetry at http://%s/metrics\n", obsAddr)
+
 	// 4. Stream the clip and watch results come back.
 	client, err := scatter.StartClient(scatter.ClientConfig{
-		ID: 1, FPS: 10, Ingress: table[scatter.StepPrimary][0],
+		ID: 1, FPS: 10, Ingress: table[scatter.StepPrimary][0], Obs: reg,
 		NextFrame: func(i int) []byte { return scatter.FramePayload(video, i) },
 	})
 	if err != nil {
@@ -91,8 +115,10 @@ func main() {
 
 	fmt.Println("\nstreaming for 5 seconds...")
 	deadline := time.After(5 * time.Second)
+	scrape := time.After(2500 * time.Millisecond)
 	received, detections := 0, 0
 	var e2eSum time.Duration
+	var spans []scatter.Span
 loop:
 	for {
 		select {
@@ -100,6 +126,14 @@ loop:
 			received++
 			detections += len(res.Detections)
 			e2eSum += res.E2E
+			spans = append(spans, scatter.SpansFromWire(1, res.FrameNo, res.Spans)...)
+		case <-scrape:
+			// Scrape the live endpoint mid-run, as a monitoring system
+			// (or the app-aware orchestrator) would.
+			fmt.Println("\nlive /metrics sample at t=2.5s:")
+			for _, line := range scrapeMetrics(obsAddr) {
+				fmt.Println(" ", line)
+			}
 		case <-deadline:
 			break loop
 		}
@@ -111,12 +145,67 @@ loop:
 			(e2eSum / time.Duration(received)).Round(time.Millisecond),
 			float64(detections)/float64(received))
 	}
-	fmt.Println("\nper-service sidecar analytics:")
+
+	fmt.Println("\nper-service sidecar analytics (worker counters vs live registry):")
+	digest := map[string]scatter.ServiceDigest{}
+	for _, d := range reg.Digest() {
+		digest[d.Service] = d
+	}
 	for i, step := range order {
 		st := workers[i].Stats()
-		fmt.Printf("  %-9s received=%-4d processed=%-4d dropped(queue/threshold)=%d/%d\n",
-			step, st.Received, st.Processed, st.DroppedQueue, st.DroppedThreshold)
+		d := digest[step.String()]
+		fmt.Printf("  %-9s received=%-4d processed=%-4d dropped(queue/threshold)=%d/%d  live{processed=%d p95=%v}\n",
+			step, st.Received, st.Processed, st.DroppedQueue, st.DroppedThreshold,
+			d.Processed, time.Duration(d.P95Micros)*time.Microsecond)
 	}
+
+	// 5. Export the collected spans as a Chrome trace: hosts become
+	//    processes, services threads, each frame a flow of queue-wait and
+	//    processing slices.
+	full := 0
+	perFrame := map[uint64]int{}
+	for _, s := range spans {
+		if s.Queue > 0 && s.Proc > 0 {
+			perFrame[s.FrameNo]++
+		}
+	}
+	for _, n := range perFrame {
+		if n == len(order) {
+			full++
+		}
+	}
+	f, err := os.Create("realnet-trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := scatter.WriteChromeTrace(f, scatter.NormalizeSpans(spans)); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %d spans to realnet-trace.json (%d frames with all %d stages timed end-to-end)\n",
+		len(spans), full, len(order))
+	fmt.Println("open it in Perfetto or chrome://tracing to see queue vs processing per service")
+}
+
+// scrapeMetrics fetches the Prometheus endpoint and returns the
+// per-service processed counters — proof the registry is live mid-run.
+func scrapeMetrics(addr string) []string {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return []string{"scrape failed: " + err.Error()}
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var out []string
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "scatter_service_processed_total") ||
+			strings.HasPrefix(line, "scatter_frames_") {
+			out = append(out, line)
+		}
+	}
+	return out
 }
 
 // lateRouter defers routing lookups until the table is complete.

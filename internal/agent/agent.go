@@ -15,11 +15,13 @@ import (
 	"log/slog"
 	"net"
 	"net/netip"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/obs"
 	"github.com/edge-mar/scatter/internal/rpc"
 	"github.com/edge-mar/scatter/internal/transport"
 	"github.com/edge-mar/scatter/internal/wire"
@@ -112,6 +114,19 @@ type WorkerConfig struct {
 	// paper's baseline) or "tcp" (the reliable alternative of A.1.2).
 	// All workers of one deployment must agree.
 	Network string
+	// Obs, when set, receives live per-service telemetry (arrivals,
+	// drops, queue/proc latency histograms) — the concurrent registry an
+	// exposition endpoint and orchestrator heartbeats read during the
+	// run, unlike the run-end metrics.Collector.
+	Obs *obs.Registry
+	// Host names this worker's machine in tracing spans. Defaults to the
+	// OS hostname.
+	Host string
+	// TraceSpans attaches a per-frame span record to every processed
+	// frame (the wire envelope's versioned span block), so the frame
+	// carries its own latency decomposition across hosts. Off by default:
+	// spans cost ~35 bytes per stage on the wire.
+	TraceSpans bool
 	// Log defaults to slog.Default().
 	Log *slog.Logger
 }
@@ -145,6 +160,9 @@ type Worker struct {
 	busy    atomic.Bool
 	wg      sync.WaitGroup
 	done    chan struct{}
+	// live is the optional obs instrument set for this service (nil when
+	// no registry was configured).
+	live *obs.ServiceMetrics
 
 	received, processed           atomic.Uint64
 	droppedBusy, droppedQueue     atomic.Uint64
@@ -178,7 +196,17 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Log == nil {
 		cfg.Log = slog.Default()
 	}
+	if cfg.Host == "" {
+		if h, err := os.Hostname(); err == nil && h != "" {
+			cfg.Host = h
+		} else {
+			cfg.Host = "node"
+		}
+	}
 	w := &Worker{cfg: cfg, done: make(chan struct{})}
+	if cfg.Obs != nil {
+		w.live = cfg.Obs.Service(cfg.Step.String())
+	}
 	// Everything the receive path touches must exist before the UDP read
 	// loop starts delivering messages.
 	if cfg.Mode == core.ModeScatterPP {
@@ -252,28 +280,44 @@ func (w *Worker) onMessage(data []byte, from net.Addr) {
 	var fr wire.Frame
 	if err := fr.UnmarshalBinary(data); err != nil {
 		w.errorsCount.Add(1)
+		if w.live != nil {
+			w.live.Errors.Inc()
+		}
 		return
 	}
 	w.received.Add(1)
+	now := time.Now()
+	if w.live != nil {
+		w.live.Arrived.Inc()
+	}
 	switch w.cfg.Mode {
 	case core.ModeScatter:
 		// One frame at a time; outstanding requests at a busy service are
 		// dropped.
 		if !w.busy.CompareAndSwap(false, true) {
 			w.droppedBusy.Add(1)
+			if w.live != nil {
+				w.live.Dropped.Inc()
+			}
 			return
 		}
 		w.wg.Add(1)
 		go func() {
 			defer w.wg.Done()
 			defer w.busy.Store(false)
-			w.process(&fr, 0)
+			w.process(&fr, now, 0)
 		}()
 	case core.ModeScatterPP:
 		select {
-		case w.queue <- queuedItem{fr: &fr, at: time.Now()}:
+		case w.queue <- queuedItem{fr: &fr, at: now}:
+			if w.live != nil {
+				w.live.QueueLen.Set(int64(len(w.queue)))
+			}
 		default:
 			w.droppedQueue.Add(1)
+			if w.live != nil {
+				w.live.Dropped.Inc()
+			}
 		}
 	}
 }
@@ -285,28 +329,54 @@ func (w *Worker) sidecarLoop() {
 		case <-w.done:
 			return
 		case item := <-w.queue:
+			if w.live != nil {
+				w.live.QueueLen.Set(int64(len(w.queue)))
+			}
 			wait := time.Since(item.at)
 			if wait > w.cfg.Threshold {
 				w.droppedThreshold.Add(1)
+				if w.live != nil {
+					w.live.Dropped.Inc()
+				}
 				continue
 			}
-			w.process(item.fr, wait)
+			w.process(item.fr, item.at, wait)
 		}
 	}
 }
 
-func (w *Worker) process(fr *wire.Frame, queueWait time.Duration) {
+func (w *Worker) process(fr *wire.Frame, enqueuedAt time.Time, queueWait time.Duration) {
 	start := time.Now()
 	if err := w.cfg.Processor.Process(fr); err != nil {
 		w.errorsCount.Add(1)
+		if w.live != nil {
+			w.live.Errors.Inc()
+		}
 		w.cfg.Log.Debug("process failed", "step", w.cfg.Step, "err", err)
 		return
 	}
-	proc := time.Since(start)
+	end := time.Now()
+	proc := end.Sub(start)
 	w.processed.Add(1)
 	w.queueMicros.Add(uint64(queueWait.Microseconds()))
 	w.procMicros.Add(uint64(proc.Microseconds()))
+	if w.live != nil {
+		w.live.RecordProcessed(queueWait, proc)
+	}
 	fr.AddStage(w.cfg.Step, uint32(queueWait.Microseconds()), uint32(proc.Microseconds()))
+	if w.cfg.TraceSpans {
+		// The span rides the envelope across hosts like the paper's
+		// intermediary metadata; timestamps are absolute µs so spans from
+		// different hosts share one clock (modulo host clock skew).
+		fr.AddSpan(wire.SpanRecord{
+			Step:          w.cfg.Step,
+			Outcome:       uint8(obs.OutcomeOK),
+			Host:          w.cfg.Host,
+			EnqueueMicros: uint64(enqueuedAt.UnixMicro()),
+			StartMicros:   uint64(start.UnixMicro()),
+			EndMicros:     uint64(end.UnixMicro()),
+		})
+	}
 
 	data, err := fr.MarshalBinary()
 	if err != nil {
@@ -400,6 +470,9 @@ type ClientConfig struct {
 	// NextFrame returns the payload for frame i (already encoded
 	// grayscale image payload bytes).
 	NextFrame func(i int) []byte
+	// Obs, when set, receives the client-side live counters (frames
+	// sent/delivered).
+	Obs *obs.Registry
 	// Log defaults to slog.Default().
 	Log *slog.Logger
 }
@@ -412,6 +485,9 @@ type ClientResult struct {
 	// Stages carries the per-service sidecar analytics the frame
 	// accumulated (queueing and processing time per stage).
 	Stages []wire.StageRecord
+	// Spans carries the per-frame tracing spans (present when workers run
+	// with TraceSpans); convert with obs.FromWire for export.
+	Spans []wire.SpanRecord
 }
 
 // Client streams frames and receives processed results.
@@ -510,6 +586,9 @@ func (c *Client) streamLoop() {
 			c.sentAt[frameNo] = time.Now()
 			c.mu.Unlock()
 			c.sent.Add(1)
+			if c.cfg.Obs != nil {
+				c.cfg.Obs.FramesSent.Inc()
+			}
 			if err := c.conn.SendToAddr(c.cfg.Ingress, data); err != nil {
 				if errors.Is(err, transport.ErrClosed) {
 					return // racing with Close
@@ -537,11 +616,15 @@ func (c *Client) onResult(data []byte, from net.Addr) {
 	if err != nil {
 		return
 	}
+	if c.cfg.Obs != nil {
+		c.cfg.Obs.FramesDelivered.Inc()
+	}
 	res := ClientResult{
 		FrameNo:    fr.FrameNo,
 		E2E:        time.Since(sent),
 		Detections: p.Detections,
 		Stages:     append([]wire.StageRecord(nil), fr.Stages...),
+		Spans:      append([]wire.SpanRecord(nil), fr.Spans...),
 	}
 	select {
 	case c.results <- res:

@@ -6,6 +6,7 @@ import (
 
 	"github.com/edge-mar/scatter/internal/metrics"
 	"github.com/edge-mar/scatter/internal/netem"
+	"github.com/edge-mar/scatter/internal/obs"
 	"github.com/edge-mar/scatter/internal/sim"
 	"github.com/edge-mar/scatter/internal/testbed"
 	"github.com/edge-mar/scatter/internal/trace"
@@ -200,6 +201,7 @@ type Pipeline struct {
 	col      *metrics.Collector
 	opts     Options
 	profiles Profiles
+	tracer   *obs.Recorder
 
 	instances [wire.NumSteps][]*Instance
 	rr        [wire.NumSteps]int
@@ -290,6 +292,37 @@ func (p *Pipeline) AddReplica(step wire.Step, m *testbed.Machine) (*Instance, er
 // Options returns the effective options after defaulting.
 func (p *Pipeline) Options() Options { return p.opts }
 
+// SetTracer attaches a span recorder: every frame's passage through every
+// service — both modes, all five stages, including drops — is recorded as
+// an obs.Span. A nil recorder (the default) disables tracing with no
+// overhead beyond a nil check, so benchmarks run untraced.
+func (p *Pipeline) SetTracer(rec *obs.Recorder) { p.tracer = rec }
+
+// Tracer returns the attached span recorder (nil when tracing is off).
+func (p *Pipeline) Tracer() *obs.Recorder { return p.tracer }
+
+// recordSpan emits one span for fr at this instance. enqueue/start/end
+// are virtual times; for drops that never started processing, start and
+// end coincide.
+func (in *Instance) recordSpan(fr *simFrame, enqueue, start, end sim.Time, outcome obs.Outcome) {
+	if in.p.tracer == nil {
+		return
+	}
+	in.p.tracer.Record(obs.Span{
+		Service:   in.Name(),
+		Host:      in.machine.Name(),
+		Step:      in.step,
+		ClientID:  fr.clientID,
+		FrameNo:   fr.frameNo,
+		EnqueueAt: enqueue,
+		StartAt:   start,
+		EndAt:     end,
+		Queue:     start - enqueue,
+		Proc:      end - start,
+		Outcome:   outcome,
+	})
+}
+
 // route picks the replica that will serve the next request at a step:
 // plain round-robin (Oakestra's semantic addressing). In scAtteR, frames
 // balanced across sift replicas remain tied to the replica that processed
@@ -350,6 +383,7 @@ func (p *Pipeline) arrive(in *Instance, fr *simFrame) {
 			// busy services are dropped.
 			p.col.ServiceDroppedAt(in.Name(), p.eng.Now())
 			p.col.FrameDropped(metrics.DropBusy)
+			in.recordSpan(fr, p.eng.Now(), p.eng.Now(), p.eng.Now(), obs.OutcomeBusy)
 			return
 		}
 		in.busy = true
@@ -360,6 +394,7 @@ func (p *Pipeline) arrive(in *Instance, fr *simFrame) {
 	if len(in.queue) >= p.opts.QueueCap {
 		p.col.ServiceDroppedAt(in.Name(), p.eng.Now())
 		p.col.FrameDropped(metrics.DropOverflow)
+		in.recordSpan(fr, p.eng.Now(), p.eng.Now(), p.eng.Now(), obs.OutcomeOverflow)
 		return
 	}
 	in.queue = append(in.queue, queuedFrame{fr: fr, at: p.eng.Now()})
@@ -384,6 +419,7 @@ func (in *Instance) kick() {
 		if wait > p.opts.Threshold {
 			p.col.ServiceDroppedAt(in.Name(), p.eng.Now())
 			p.col.FrameDropped(metrics.DropThreshold)
+			in.recordSpan(q.fr, q.at, p.eng.Now(), p.eng.Now(), obs.OutcomeThreshold)
 			continue
 		}
 		in.busy = true
@@ -437,6 +473,7 @@ func (in *Instance) runPhases(fr *simFrame, queueWait time.Duration, began sim.T
 func (in *Instance) finish(fr *simFrame, queueWait time.Duration, began sim.Time) {
 	p := in.p
 	p.col.ServiceProcessed(in.Name(), queueWait, p.eng.Now()-began)
+	in.recordSpan(fr, began-queueWait, began, p.eng.Now(), obs.OutcomeOK)
 	switch in.step {
 	case wire.StepSIFT:
 		if p.opts.Mode == ModeScatter {
@@ -528,6 +565,7 @@ func (in *Instance) fetchThenProcess(fr *simFrame, queueWait time.Duration, bega
 		// No sift state was ever recorded (should not happen in well-
 		// formed deployments); treat as an immediate miss.
 		p.col.FrameDropped(metrics.DropTimeout)
+		in.recordSpan(fr, began-queueWait, began, p.eng.Now(), obs.OutcomeTimeout)
 		in.idle()
 		return
 	}
@@ -535,6 +573,7 @@ func (in *Instance) fetchThenProcess(fr *simFrame, queueWait time.Duration, bega
 	timeout := p.eng.After(p.opts.FetchTimeout, func() {
 		done = true
 		p.col.FrameDropped(metrics.DropTimeout)
+		in.recordSpan(fr, began-queueWait, began, p.eng.Now(), obs.OutcomeTimeout)
 		in.idle()
 	})
 	key := stateKey{client: fr.clientID, frame: fr.frameNo}
@@ -556,6 +595,7 @@ func (in *Instance) fetchThenProcess(fr *simFrame, queueWait time.Duration, bega
 			timeout.Cancel()
 			if !hit {
 				p.col.FrameDropped(metrics.DropTimeout)
+				in.recordSpan(fr, began-queueWait, began, p.eng.Now(), obs.OutcomeTimeout)
 				in.idle()
 				return
 			}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/obs"
+	"github.com/edge-mar/scatter/internal/sim"
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+// TestPipelineSpanTracing verifies the simulator records a span for every
+// service touch in both modes: completed frames produce one OK span per
+// stage with consistent queue/proc segments, and span accounting matches
+// the run-end collector counters.
+func TestPipelineSpanTracing(t *testing.T) {
+	for _, mode := range []Mode{ModeScatter, ModeScatterPP} {
+		t.Run(mode.String(), func(t *testing.T) {
+			e := newEnv(1)
+			p := NewPipeline(e.eng, e.fabric, e.col, PlaceOrdered(e.e1, e.e1, e.e2, e.e2, e.e2),
+				DefaultProfiles(), Options{Mode: mode})
+			rec := obs.NewRecorder(0)
+			p.SetTracer(rec)
+			duration := 10 * time.Second
+			for i := 0; i < 3; i++ {
+				p.AddClient(ClientConfig{
+					ID: uint32(i + 1), FPS: 30,
+					Start: sim.Time(i) * 5 * time.Millisecond,
+					Stop:  duration,
+				})
+			}
+			e.eng.Run(duration + 5*time.Second)
+			spans := rec.Spans()
+			if len(spans) == 0 {
+				t.Fatal("no spans recorded")
+			}
+
+			// Per-frame OK spans: a delivered frame has exactly one OK
+			// span per stage.
+			type frameKey struct {
+				client uint32
+				frame  uint64
+			}
+			okStages := make(map[frameKey]int)
+			var okSpans, dropSpans uint64
+			seenStage := make(map[wire.Step]bool)
+			for _, s := range spans {
+				if s.StartAt < s.EnqueueAt || s.EndAt < s.StartAt {
+					t.Fatalf("span times not ordered: %+v", s)
+				}
+				if s.Queue != s.StartAt-s.EnqueueAt || s.Proc != s.EndAt-s.StartAt {
+					t.Fatalf("span segments inconsistent: %+v", s)
+				}
+				if s.Service != s.Step.String() {
+					t.Fatalf("span service/step mismatch: %+v", s)
+				}
+				if s.Outcome == obs.OutcomeOK {
+					okSpans++
+					seenStage[s.Step] = true
+					okStages[frameKey{s.ClientID, s.FrameNo}]++
+					if s.Proc <= 0 {
+						t.Fatalf("OK span with zero proc: %+v", s)
+					}
+				} else {
+					dropSpans++
+				}
+			}
+			for step := wire.StepPrimary; step < wire.StepDone; step++ {
+				if !seenStage[step] {
+					t.Errorf("no OK span for stage %s", step)
+				}
+			}
+			for key, n := range okStages {
+				if n > wire.NumSteps {
+					t.Errorf("frame %v has %d OK spans, max %d", key, n, wire.NumSteps)
+				}
+			}
+
+			// Span accounting matches the collector: OK spans equal
+			// processed executions summed over services.
+			var processed uint64
+			sum := e.col.Summarize(duration, 3, nil)
+			for _, svc := range sum.Services {
+				processed += svc.Processed
+			}
+			if okSpans != processed {
+				t.Errorf("OK spans = %d, collector processed = %d", okSpans, processed)
+			}
+			if mode == ModeScatter && dropSpans == 0 {
+				t.Error("scAtteR under 3-client load should record drop spans")
+			}
+		})
+	}
+}
+
+// TestPipelineTracingOffByDefault pins the zero-overhead default: no
+// recorder, no spans, and a nil tracer is returned.
+func TestPipelineTracingOffByDefault(t *testing.T) {
+	e := newEnv(1)
+	p := NewPipeline(e.eng, e.fabric, e.col, PlaceAll(e.e1), DefaultProfiles(), Options{})
+	if p.Tracer() != nil {
+		t.Fatal("tracer should default to nil")
+	}
+	p.AddClient(ClientConfig{ID: 1, FPS: 30, Stop: time.Second})
+	e.eng.Run(2 * time.Second)
+	if p.Tracer().Len() != 0 {
+		t.Fatal("nil tracer recorded spans")
+	}
+}

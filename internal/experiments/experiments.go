@@ -12,6 +12,7 @@ import (
 	"github.com/edge-mar/scatter/internal/core"
 	"github.com/edge-mar/scatter/internal/metrics"
 	"github.com/edge-mar/scatter/internal/netem"
+	"github.com/edge-mar/scatter/internal/obs"
 	"github.com/edge-mar/scatter/internal/sim"
 	"github.com/edge-mar/scatter/internal/testbed"
 	"github.com/edge-mar/scatter/internal/wire"
@@ -65,6 +66,12 @@ type RunSpec struct {
 	ClientStagger time.Duration
 	// FPS overrides the 30 FPS camera rate.
 	FPS int
+	// Trace attaches a per-frame span recorder to the pipeline; the
+	// spans are retrievable via RunPoint.Spans. Off by default so
+	// benchmark runs carry no tracing overhead.
+	Trace bool
+	// TraceMaxSpans bounds the recorder (obs.DefaultMaxSpans when zero).
+	TraceMaxSpans int
 }
 
 // RunPoint is the measured outcome of one run.
@@ -106,6 +113,9 @@ func Run(spec RunSpec) RunPoint {
 		profiles = *spec.Profiles
 	}
 	p := core.NewPipeline(w.Eng, w.Fabric, w.Col, spec.Placement(w), profiles, opts)
+	if spec.Trace {
+		p.SetTracer(obs.NewRecorder(spec.TraceMaxSpans))
+	}
 	for i := 0; i < spec.Clients; i++ {
 		p.AddClient(core.ClientConfig{
 			ID:    uint32(i + 1),
@@ -126,6 +136,12 @@ func Run(spec RunSpec) RunPoint {
 		world:    w,
 		pipeline: p,
 	}
+}
+
+// Spans returns the per-frame spans recorded during the run, or nil when
+// the spec did not enable tracing.
+func (pt RunPoint) Spans() []obs.Span {
+	return pt.pipeline.Tracer().Spans()
 }
 
 // IngressFPSSeries exposes the per-service ingress FPS over intervals of

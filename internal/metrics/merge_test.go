@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPercentileInterpolation pins the linear-interpolation estimator on
+// known distributions.
+func TestPercentileInterpolation(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name string
+		ds   []time.Duration
+		p    float64
+		want time.Duration
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single", []time.Duration{ms(7)}, 0.95, ms(7)},
+		{"p0-is-min", []time.Duration{ms(3), ms(1), ms(2)}, 0, ms(1)},
+		{"p100-is-max", []time.Duration{ms(3), ms(1), ms(2)}, 1, ms(3)},
+		// Two samples: p50 is exactly halfway between them.
+		{"p50-midpoint", []time.Duration{ms(10), ms(20)}, 0.5, ms(15)},
+		// 1..5: p50 lands on the middle rank exactly.
+		{"p50-exact-rank", []time.Duration{ms(5), ms(4), ms(3), ms(2), ms(1)}, 0.5, ms(3)},
+		// 1..5: rank = .95*4 = 3.8 → 4ms + 0.8*(5ms-4ms) = 4.8ms.
+		{"p95-interpolated", []time.Duration{ms(1), ms(2), ms(3), ms(4), ms(5)}, 0.95, 4800 * time.Microsecond},
+		// 1..100ms: p50 = 50.5ms, p95 = 95.05ms, p99 = 99.01ms.
+		{"p50-uniform100", uniform100(), 0.50, 50500 * time.Microsecond},
+		{"p95-uniform100", uniform100(), 0.95, 95050 * time.Microsecond},
+		{"p99-uniform100", uniform100(), 0.99, 99010 * time.Microsecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := percentileDuration(tc.ds, tc.p); got != tc.want {
+				t.Errorf("percentile(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func uniform100() []time.Duration {
+	ds := make([]time.Duration, 100)
+	for i := range ds {
+		ds[i] = time.Duration(i+1) * time.Millisecond
+	}
+	return ds
+}
+
+// TestMergeEqualsSequential drives the same randomized event stream into
+// one collector and into two collectors split by client (jitter chains
+// are per-client), then checks the merged summary is identical.
+func TestMergeEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	seq := NewCollector()
+	a, b := NewCollector(), NewCollector()
+	pick := func(client uint32) *Collector {
+		if client%2 == 0 {
+			return a
+		}
+		return b
+	}
+	services := []string{"primary", "sift", "encoding"}
+	for i := 0; i < 500; i++ {
+		client := uint32(rng.Intn(4) + 1)
+		at := time.Duration(i) * 3 * time.Millisecond
+		c := pick(client)
+		switch rng.Intn(6) {
+		case 0:
+			seq.FrameSent()
+			c.FrameSent()
+		case 1:
+			e2e := time.Duration(rng.Intn(80)+10) * time.Millisecond
+			seq.FrameDelivered(client, at, at+e2e)
+			c.FrameDelivered(client, at, at+e2e)
+		case 2:
+			seq.FrameDropped(DropBusy)
+			c.FrameDropped(DropBusy)
+		case 3:
+			name := services[rng.Intn(len(services))]
+			seq.ServiceArrived(name, at)
+			c.ServiceArrived(name, at)
+		case 4:
+			name := services[rng.Intn(len(services))]
+			q := time.Duration(rng.Intn(5)) * time.Millisecond
+			p := time.Duration(rng.Intn(20)+1) * time.Millisecond
+			seq.ServiceProcessed(name, q, p)
+			c.ServiceProcessed(name, q, p)
+		case 5:
+			seq.StateAllocFailed()
+			c.StateAllocFailed()
+		}
+	}
+	merged := NewCollector()
+	merged.Merge(a)
+	merged.Merge(b)
+	merged.Merge(nil) // no-op
+
+	duration := 2 * time.Second
+	want := seq.Summarize(duration, 4, nil)
+	got := merged.Summarize(duration, 4, nil)
+	// E2E sample order differs between merged and sequential, but every
+	// statistic derived from them must not.
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("merged summary differs from sequential:\nseq: %+v\ngot: %+v", want, got)
+	}
+	for _, name := range services {
+		wantFPS := seq.IngressFPSSeries(name, duration, 100*time.Millisecond)
+		gotFPS := merged.IngressFPSSeries(name, duration, 100*time.Millisecond)
+		if !reflect.DeepEqual(wantFPS, gotFPS) {
+			t.Errorf("%s ingress series differs after merge", name)
+		}
+	}
+}
+
+func TestSummaryStringDrops(t *testing.T) {
+	c := NewCollector()
+	c.FrameSent()
+	c.FrameSent()
+	c.FrameDelivered(1, 0, 40*time.Millisecond)
+	c.FrameDropped(DropThreshold)
+	c.StateAllocFailed()
+	s := c.Summarize(time.Second, 1, nil)
+	out := s.String()
+	if !strings.Contains(out, "drops=1") {
+		t.Errorf("String() missing drop count: %q", out)
+	}
+	if !strings.Contains(out, "state_alloc_fail=1") {
+		t.Errorf("String() missing state-alloc failures: %q", out)
+	}
+	// Zero state-alloc failures stay out of the digest.
+	if out := NewCollector().Summarize(time.Second, 0, nil).String(); strings.Contains(out, "state_alloc") {
+		t.Errorf("String() shows zero state-alloc: %q", out)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 4; i++ {
+		c.FrameSent()
+	}
+	c.FrameDelivered(1, 0, 40*time.Millisecond)
+	c.FrameDropped(DropThreshold)
+	c.FrameDropped(DropThreshold)
+	c.FrameDropped(DropBusy)
+	c.ServiceArrived("sift", time.Millisecond)
+	c.ServiceProcessed("sift", 2*time.Millisecond, 30*time.Millisecond)
+	c.ServiceArrived("primary", time.Millisecond)
+	s := c.Summarize(time.Second, 1, nil)
+	table := s.Table()
+	for _, want := range []string{
+		"sent=4 ok=1",
+		"total=3 busy=1 threshold=2",
+		"p95=",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("Table() missing %q:\n%s", want, table)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(table, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Errorf("Table() has %d lines, want 6:\n%s", len(lines), table)
+	}
+	// Services render in name order.
+	if !strings.Contains(lines[4], "primary") || !strings.Contains(lines[5], "sift") {
+		t.Errorf("Table() services unordered:\n%s", table)
+	}
+}
+
+// TestSeriesEdgeCases pins interval bucketing at the boundaries: events
+// at exactly t=duration fall outside the last interval, an interval
+// longer than the run yields a single bucket, and unknown services get
+// zero-filled series of the right length.
+func TestSeriesEdgeCases(t *testing.T) {
+	c := NewCollector()
+	duration := 2 * time.Second
+	c.ServiceArrived("sift", 0)
+	c.ServiceArrived("sift", duration-time.Nanosecond)
+	c.ServiceArrived("sift", duration) // at the boundary: outside [0, duration)
+	c.ServiceDroppedAt("sift", duration)
+
+	fps := c.IngressFPSSeries("sift", duration, time.Second)
+	if len(fps) != 2 {
+		t.Fatalf("series length = %d, want 2", len(fps))
+	}
+	if fps[0] != 1 || fps[1] != 1 {
+		t.Errorf("series = %v: event at t=duration must not count", fps)
+	}
+	ratios := c.DropRatioSeries("sift", duration, time.Second)
+	if ratios[0] != 0 || ratios[1] != 0 {
+		t.Errorf("drop at t=duration leaked into %v", ratios)
+	}
+
+	// Interval longer than the run: a single bucket spanning [0, interval),
+	// so even the t=duration event falls inside the grid and counts.
+	one := c.IngressFPSSeries("sift", duration, time.Minute)
+	if len(one) != 1 {
+		t.Fatalf("oversized interval buckets = %d, want 1", len(one))
+	}
+	if want := 3.0 / 60.0; math.Abs(one[0]-want) > 1e-12 {
+		t.Errorf("oversized interval fps = %v, want %v", one[0], want)
+	}
+
+	// Unknown service: zero-filled, correct length, both series.
+	if z := c.IngressFPSSeries("ghost", duration, 300*time.Millisecond); len(z) != 7 {
+		t.Errorf("unknown service fps length = %d, want 7", len(z))
+	}
+	zr := c.DropRatioSeries("ghost", duration, 300*time.Millisecond)
+	if len(zr) != 7 {
+		t.Fatalf("unknown service ratio length = %d, want 7", len(zr))
+	}
+	for i, v := range zr {
+		if v != 0 {
+			t.Errorf("unknown service ratio[%d] = %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome trace_event JSON export: each host becomes a trace "process",
+// each service on it a "thread", and every span renders as two complete
+// ("X") slices — the queue-wait segment and the processing segment — so
+// Perfetto shows exactly where a frame spent its 100 ms budget. Flow
+// arrows stitch one frame's slices across services and hosts.
+
+// traceEvent is one entry of the trace_event array format.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// WriteChromeTrace writes the spans as Chrome trace_event JSON (an array,
+// loadable by Perfetto or chrome://tracing).
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	// Stable pid per host and tid per (host, service), in pipeline order
+	// so tracks read primary→…→matching top to bottom.
+	hosts := map[string]int{}
+	tracks := map[string]int{}
+	sorted := append([]Span(nil), spans...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Host != sorted[j].Host {
+			return sorted[i].Host < sorted[j].Host
+		}
+		return sorted[i].Step < sorted[j].Step
+	})
+	var events []traceEvent
+	for _, s := range sorted {
+		pid, ok := hosts[s.Host]
+		if !ok {
+			pid = len(hosts) + 1
+			hosts[s.Host] = pid
+			events = append(events, traceEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": s.Host},
+			})
+		}
+		trackKey := s.Host + "/" + s.Service
+		tid, ok := tracks[trackKey]
+		if !ok {
+			tid = int(s.Step) + 1
+			tracks[trackKey] = tid
+			events = append(events, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": s.Service},
+			})
+		}
+	}
+	// Emit slices in time order within each frame so flow bindings attach
+	// to enclosing slices.
+	byTime := append([]Span(nil), spans...)
+	sort.SliceStable(byTime, func(i, j int) bool { return byTime[i].StartAt < byTime[j].StartAt })
+	frameSeen := map[string]bool{}
+	for _, s := range byTime {
+		pid := hosts[s.Host]
+		tid := tracks[s.Host+"/"+s.Service]
+		args := map[string]any{
+			"client":  s.ClientID,
+			"frame":   s.FrameNo,
+			"outcome": s.Outcome.String(),
+		}
+		if s.Queue > 0 {
+			events = append(events, traceEvent{
+				Name: s.Service + " queue", Cat: "queue", Ph: "X",
+				Ts: us(s.EnqueueAt), Dur: us(s.Queue), Pid: pid, Tid: tid, Args: args,
+			})
+		}
+		if s.EndAt > s.StartAt || s.Outcome == OutcomeOK {
+			events = append(events, traceEvent{
+				Name: s.Service, Cat: "proc " + s.Outcome.String(), Ph: "X",
+				Ts: us(s.StartAt), Dur: us(s.EndAt - s.StartAt), Pid: pid, Tid: tid, Args: args,
+			})
+		} else {
+			// A drop with no processing renders as an instant event.
+			events = append(events, traceEvent{
+				Name: s.Service + " " + s.Outcome.String(), Cat: "drop", Ph: "i",
+				Ts: us(s.EndAt), Pid: pid, Tid: tid, Args: args,
+			})
+		}
+		// Flow arrows: one chain per (client, frame), started at the first
+		// span, stepped at each subsequent one.
+		flowID := fmt.Sprintf("f%d-%d", s.ClientID, s.FrameNo)
+		ph := "t"
+		if !frameSeen[flowID] {
+			frameSeen[flowID] = true
+			ph = "s"
+		}
+		ts := s.StartAt
+		if s.EndAt > s.StartAt {
+			ts = s.StartAt + (s.EndAt-s.StartAt)/2
+		}
+		events = append(events, traceEvent{
+			Name: "frame", Cat: "frame", Ph: ph, ID: flowID,
+			Ts: us(ts), Pid: pid, Tid: tid,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+func testRegistry() *Registry {
+	reg := NewRegistry()
+	reg.FramesSent.Add(30)
+	reg.FramesDelivered.Add(25)
+	m := reg.Service("sift")
+	m.Arrived.Add(30)
+	m.Dropped.Add(5)
+	for i := 0; i < 25; i++ {
+		m.RecordProcessed(2*time.Millisecond, 8*time.Millisecond)
+	}
+	return reg
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	rec := NewRecorder(0)
+	rec.Record(Span{Service: "sift", Host: "E1", Step: wire.StepSIFT,
+		ClientID: 1, FrameNo: 3, EnqueueAt: time.Millisecond,
+		StartAt: 2 * time.Millisecond, EndAt: 9 * time.Millisecond,
+		Queue: time.Millisecond, Proc: 7 * time.Millisecond})
+	srv := httptest.NewServer(Handler(testRegistry(), rec))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz: %d %q", code, body)
+	}
+
+	code, body = get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	for _, want := range []string{
+		`scatter_frames_sent_total 30`,
+		`scatter_service_processed_total{service="sift"} 25`,
+		`scatter_service_dropped_total{service="sift"} 5`,
+		`scatter_service_latency_seconds_count{service="sift"} 25`,
+		`scatter_service_latency_seconds{service="sift",quantile="0.95"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("metrics.json status %d", code)
+	}
+	var snap struct {
+		FramesSent uint64 `json:"frames_sent"`
+		Services   []struct {
+			Service   string  `json:"service"`
+			Processed uint64  `json:"processed"`
+			DropRatio float64 `json:"drop_ratio"`
+			P95Micros uint64  `json:"p95_us"`
+		} `json:"services"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics.json decode: %v", err)
+	}
+	if snap.FramesSent != 30 || len(snap.Services) != 1 ||
+		snap.Services[0].Processed != 25 || snap.Services[0].P95Micros == 0 {
+		t.Errorf("metrics.json content wrong: %s", body)
+	}
+
+	code, body = get(t, srv, "/spans")
+	if code != http.StatusOK {
+		t.Fatalf("spans status %d", code)
+	}
+	var spans []Span
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("spans decode: %v", err)
+	}
+	if len(spans) != 1 || spans[0].Service != "sift" {
+		t.Errorf("spans content wrong: %s", body)
+	}
+
+	code, body = get(t, srv, "/spans.trace")
+	if code != http.StatusOK {
+		t.Fatalf("spans.trace status %d", code)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("spans.trace decode: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("spans.trace produced no events")
+	}
+
+	code, body = get(t, srv, "/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Errorf("debug/vars: %d", code)
+	}
+
+	code, _ = get(t, srv, "/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("pprof cmdline status %d", code)
+	}
+}
+
+func TestHandlerWithoutRecorder(t *testing.T) {
+	srv := httptest.NewServer(Handler(testRegistry(), nil))
+	defer srv.Close()
+	code, _ := get(t, srv, "/spans")
+	if code != http.StatusNotFound {
+		t.Errorf("spans without recorder: %d, want 404", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0", testRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+}

@@ -37,6 +37,9 @@ func NewAPIServer(root *Root) *APIServer {
 	s.mux.HandleFunc("GET /api/v1/apps/{name}", s.deployment)
 	s.mux.HandleFunc("DELETE /api/v1/apps/{name}", s.undeploy)
 	s.mux.HandleFunc("POST /api/v1/failures/detect", s.detectFailures)
+	s.mux.HandleFunc("GET /api/v1/telemetry", s.telemetry)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
 	return s
 }
 
@@ -157,4 +160,47 @@ func (s *APIServer) detectFailures(w http.ResponseWriter, r *http.Request) {
 		migrated = []Instance{}
 	}
 	writeJSON(w, http.StatusOK, migrated)
+}
+
+func (s *APIServer) telemetry(w http.ResponseWriter, r *http.Request) {
+	t := s.root.AppTelemetry()
+	if t == nil {
+		t = []ServiceTelemetry{}
+	}
+	writeJSON(w, http.StatusOK, t)
+}
+
+func (s *APIServer) healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// metrics renders the root's fleet view in Prometheus text exposition
+// format: node liveness plus the per-service application telemetry
+// aggregated from heartbeats.
+func (s *APIServer) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	alive, dead := s.root.NodeCounts()
+	fmt.Fprintf(w, "# TYPE scatter_orchestrator_nodes gauge\n")
+	fmt.Fprintf(w, "scatter_orchestrator_nodes{state=\"alive\"} %d\n", alive)
+	fmt.Fprintf(w, "scatter_orchestrator_nodes{state=\"dead\"} %d\n", dead)
+	tel := s.root.AppTelemetry()
+	if len(tel) == 0 {
+		return
+	}
+	for _, name := range []string{"arrived", "processed", "dropped"} {
+		fmt.Fprintf(w, "# TYPE scatter_app_service_%s_total counter\n", name)
+	}
+	fmt.Fprintf(w, "# TYPE scatter_app_service_drop_ratio gauge\n")
+	fmt.Fprintf(w, "# TYPE scatter_app_service_queue_len gauge\n")
+	fmt.Fprintf(w, "# TYPE scatter_app_service_latency_p95_seconds gauge\n")
+	for _, t := range tel {
+		l := fmt.Sprintf("{service=%q}", t.Service)
+		fmt.Fprintf(w, "scatter_app_service_arrived_total%s %d\n", l, t.Arrived)
+		fmt.Fprintf(w, "scatter_app_service_processed_total%s %d\n", l, t.Processed)
+		fmt.Fprintf(w, "scatter_app_service_dropped_total%s %d\n", l, t.Dropped)
+		fmt.Fprintf(w, "scatter_app_service_drop_ratio%s %g\n", l, t.DropRatio)
+		fmt.Fprintf(w, "scatter_app_service_queue_len%s %d\n", l, t.QueueLen)
+		fmt.Fprintf(w, "scatter_app_service_latency_p95_seconds%s %g\n", l, float64(t.P95Micros)/1e6)
+	}
 }

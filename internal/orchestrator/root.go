@@ -265,6 +265,61 @@ func (r *Root) Status(nodeName string) (NodeStatus, error) {
 	return n.status, nil
 }
 
+// AppTelemetry aggregates the application digests from the latest
+// heartbeats of all live nodes into one per-service view: counters are
+// summed, drop ratios recomputed from the sums, queue depths summed, and
+// p95 taken as the worst replica (the replica a QoS policy must relieve).
+// Services are returned sorted by name. Nodes that only report hardware
+// telemetry contribute nothing — the pre-extension status quo.
+func (r *Root) AppTelemetry() []ServiceTelemetry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	agg := make(map[string]*ServiceTelemetry)
+	for _, n := range r.nodes {
+		if !n.alive {
+			continue
+		}
+		for _, st := range n.status.Services {
+			t, ok := agg[st.Service]
+			if !ok {
+				t = &ServiceTelemetry{Service: st.Service}
+				agg[st.Service] = t
+			}
+			t.Arrived += st.Arrived
+			t.Processed += st.Processed
+			t.Dropped += st.Dropped
+			t.QueueLen += st.QueueLen
+			if st.P95Micros > t.P95Micros {
+				t.P95Micros = st.P95Micros
+			}
+		}
+	}
+	out := make([]ServiceTelemetry, 0, len(agg))
+	for _, t := range agg {
+		if t.Arrived > 0 {
+			t.DropRatio = float64(t.Dropped) / float64(t.Arrived)
+		}
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })
+	return out
+}
+
+// NodeCounts reports how many registered nodes are currently considered
+// alive and dead.
+func (r *Root) NodeCounts() (alive, dead int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range r.nodes {
+		if n.alive {
+			alive++
+		} else {
+			dead++
+		}
+	}
+	return alive, dead
+}
+
 // Deployment returns the current instances of an app.
 func (r *Root) Deployment(app string) (*Deployment, error) {
 	r.mu.Lock()

@@ -1,0 +1,120 @@
+package orchestrator
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAppTelemetryAggregation(t *testing.T) {
+	r := newTestRoot(t)
+	now := time.Unix(100, 0)
+	if err := r.Heartbeat("E1", NodeStatus{LastHeartbeat: now, Services: []ServiceTelemetry{
+		{Service: "primary", Arrived: 100, Processed: 98, Dropped: 2, QueueLen: 1, P95Micros: 900},
+		{Service: "sift", Arrived: 98, Processed: 60, Dropped: 38, QueueLen: 7, P95Micros: 42_000},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Heartbeat("E2", NodeStatus{LastHeartbeat: now, Services: []ServiceTelemetry{
+		{Service: "sift", Arrived: 102, Processed: 90, Dropped: 12, QueueLen: 3, P95Micros: 30_000},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// Hardware-only heartbeat contributes nothing.
+	if err := r.Heartbeat("cloud", NodeStatus{LastHeartbeat: now, CPUUtil: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+
+	tel := r.AppTelemetry()
+	if len(tel) != 2 {
+		t.Fatalf("telemetry services = %d, want 2", len(tel))
+	}
+	if tel[0].Service != "primary" || tel[1].Service != "sift" {
+		t.Fatalf("services not sorted: %+v", tel)
+	}
+	sift := tel[1]
+	if sift.Arrived != 200 || sift.Processed != 150 || sift.Dropped != 50 {
+		t.Errorf("sift counters not summed: %+v", sift)
+	}
+	if sift.DropRatio != 0.25 {
+		t.Errorf("sift drop ratio = %g, want 0.25 recomputed from sums", sift.DropRatio)
+	}
+	if sift.QueueLen != 10 {
+		t.Errorf("sift queue len = %d, want 10", sift.QueueLen)
+	}
+	if sift.P95Micros != 42_000 {
+		t.Errorf("sift p95 = %d, want worst replica 42000", sift.P95Micros)
+	}
+}
+
+func TestAppTelemetrySkipsDeadNodes(t *testing.T) {
+	r := newTestRoot(t, WithHeartbeatTimeout(time.Second))
+	now := time.Unix(100, 0)
+	for _, n := range []string{"E1", "E2", "cloud"} {
+		if err := r.Heartbeat(n, NodeStatus{LastHeartbeat: now, Services: []ServiceTelemetry{
+			{Service: "sift", Arrived: 10, Dropped: 5},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.DetectFailures(now.Add(10 * time.Second)) // everyone times out
+	if tel := r.AppTelemetry(); len(tel) != 0 {
+		t.Errorf("dead nodes still contribute telemetry: %+v", tel)
+	}
+	alive, dead := r.NodeCounts()
+	if alive != 0 || dead != 3 {
+		t.Errorf("node counts = %d alive / %d dead, want 0/3", alive, dead)
+	}
+}
+
+func TestAPITelemetryAndMetrics(t *testing.T) {
+	srv, _ := apiFixture(t)
+	for _, n := range testbedNodes() {
+		if code := doJSON(t, "POST", srv.URL+"/api/v1/nodes", n, nil); code != http.StatusCreated {
+			t.Fatalf("register %s: %d", n.Name, code)
+		}
+	}
+	status := NodeStatus{Services: []ServiceTelemetry{
+		{Service: "sift", Arrived: 100, Processed: 75, Dropped: 25, DropRatio: 0.25, QueueLen: 4, P95Micros: 50_000},
+	}}
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/nodes/E1/heartbeat", status, nil); code != http.StatusNoContent {
+		t.Fatalf("heartbeat with services: %d", code)
+	}
+
+	var tel []ServiceTelemetry
+	if code := doJSON(t, "GET", srv.URL+"/api/v1/telemetry", nil, &tel); code != http.StatusOK {
+		t.Fatalf("telemetry: %d", code)
+	}
+	if len(tel) != 1 || tel[0].Service != "sift" || tel[0].DropRatio != 0.25 {
+		t.Fatalf("telemetry = %+v", tel)
+	}
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`scatter_orchestrator_nodes{state="alive"} 3`,
+		`scatter_app_service_dropped_total{service="sift"} 25`,
+		`scatter_app_service_drop_ratio{service="sift"} 0.25`,
+		`scatter_app_service_latency_p95_seconds{service="sift"} 0.05`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}

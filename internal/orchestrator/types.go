@@ -49,13 +49,32 @@ func (n NodeInfo) Validate() error {
 	return nil
 }
 
-// NodeStatus is a node's hardware-level telemetry — all the orchestrator
-// ever sees about load.
+// NodeStatus is a node's telemetry report. The hardware fields are all
+// today's orchestrators see; Services optionally carries the node's live
+// application-metrics digest — the §6 extension that closes the QoS blind
+// spot, letting app-aware policies read drop ratios straight from
+// heartbeats.
 type NodeStatus struct {
 	CPUUtil       float64   `json:"cpu_util"`
 	GPUUtil       float64   `json:"gpu_util"`
 	MemUsed       int64     `json:"mem_used"`
 	LastHeartbeat time.Time `json:"last_heartbeat"`
+	// Services is the per-service application telemetry digest hosted on
+	// this node (empty when the node exports hardware metrics only).
+	Services []ServiceTelemetry `json:"services,omitempty"`
+}
+
+// ServiceTelemetry is one service's application-level digest as carried in
+// a heartbeat: ingress counters, drop ratio, live queue depth, and the p95
+// service latency from the node's streaming histogram.
+type ServiceTelemetry struct {
+	Service   string  `json:"service"`
+	Arrived   uint64  `json:"arrived"`
+	Processed uint64  `json:"processed"`
+	Dropped   uint64  `json:"dropped"`
+	DropRatio float64 `json:"drop_ratio"`
+	QueueLen  int64   `json:"queue_len"`
+	P95Micros uint64  `json:"p95_us"`
 }
 
 // Requirements constrain where a microservice may be placed.

@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func sampleSpans() []SpanRecord {
+	return []SpanRecord{
+		{Step: StepPrimary, Outcome: 0, Host: "E1",
+			EnqueueMicros: 1_000_000, StartMicros: 1_000_400, EndMicros: 1_001_400},
+		{Step: StepSIFT, Outcome: 0, Host: "E1",
+			EnqueueMicros: 1_001_900, StartMicros: 1_002_000, EndMicros: 1_030_000},
+		{Step: StepMatching, Outcome: 3, Host: "edge-2.example",
+			EnqueueMicros: 1_031_000, StartMicros: 1_131_000, EndMicros: 1_131_000},
+	}
+}
+
+func TestSpanRoundTrip(t *testing.T) {
+	f := sampleFrame()
+	f.Spans = sampleSpans()
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Frame
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Spans) != len(f.Spans) {
+		t.Fatalf("spans = %d, want %d", len(g.Spans), len(f.Spans))
+	}
+	for i := range g.Spans {
+		if g.Spans[i] != f.Spans[i] {
+			t.Errorf("span %d = %+v, want %+v", i, g.Spans[i], f.Spans[i])
+		}
+	}
+	if !bytes.Equal(g.Payload, f.Payload) {
+		t.Errorf("payload corrupted by span block")
+	}
+	if len(g.Stages) != len(f.Stages) {
+		t.Errorf("stages corrupted by span block")
+	}
+}
+
+// TestSpanBlockOptional pins that frames without spans marshal to the
+// exact bytes the pre-span codec produced: the block costs nothing when
+// tracing is off, and old captures still decode.
+func TestSpanBlockOptional(t *testing.T) {
+	f := sampleFrame()
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[11]&flagSpans != 0 {
+		t.Error("span flag set on a frame without spans")
+	}
+	var g Frame
+	g.Spans = sampleSpans() // must be reset by decode
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Spans) != 0 {
+		t.Errorf("decode left %d stale spans", len(g.Spans))
+	}
+}
+
+func TestSpanBlockVersionRejected(t *testing.T) {
+	f := sampleFrame()
+	f.Spans = sampleSpans()[:1]
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The span block starts right after the stage records; corrupt its
+	// version byte wherever it is by re-marshalling with a sentinel host
+	// and locating the version byte relative to the payload length field.
+	idx := bytes.Index(data, []byte{spanBlockVersion, 1, byte(StepPrimary)})
+	if idx < 0 {
+		t.Fatal("span block not found in encoding")
+	}
+	data[idx] = 99
+	var g Frame
+	if err := g.UnmarshalBinary(data); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("unknown span block version err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestSpanMarshalLimits(t *testing.T) {
+	f := sampleFrame()
+	f.Spans = make([]SpanRecord, maxSpans+1)
+	if _, err := f.MarshalBinary(); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("span count over limit err = %v", err)
+	}
+	f.Spans = []SpanRecord{{Step: StepSIFT, Host: string(make([]byte, 256))}}
+	if _, err := f.MarshalBinary(); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("span host over limit err = %v", err)
+	}
+}
+
+func TestAddSpanCaps(t *testing.T) {
+	var f Frame
+	for i := 0; i < maxSpans+10; i++ {
+		f.AddSpan(SpanRecord{Step: StepSIFT, EnqueueMicros: uint64(i)})
+	}
+	if len(f.Spans) != maxSpans {
+		t.Errorf("spans = %d, want capped at %d", len(f.Spans), maxSpans)
+	}
+}
+
+func TestCloneCopiesSpans(t *testing.T) {
+	f := sampleFrame()
+	f.Spans = sampleSpans()
+	g := f.Clone()
+	g.Spans[0].Host = "mutated"
+	if f.Spans[0].Host == "mutated" {
+		t.Error("Clone shares span storage")
+	}
+}

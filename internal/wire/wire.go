@@ -71,6 +71,22 @@ type StageRecord struct {
 	ProcMicros  uint32
 }
 
+// SpanRecord is one per-frame tracing span riding the envelope across
+// hosts, like the paper's intermediary metadata: absolute enqueue/start/
+// end timestamps (µs since the deployment's epoch) on the named host, so
+// a collector can reconstruct queue-wait and processing segments per
+// stage. The on-wire span block is independently versioned (see
+// spanBlockVersion) and optional — frames without spans cost no extra
+// bytes.
+type SpanRecord struct {
+	Step          Step
+	Outcome       uint8 // obs.Outcome value
+	Host          string
+	EnqueueMicros uint64
+	StartMicros   uint64
+	EndMicros     uint64
+}
+
 // Frame is the unit of work flowing through the pipeline.
 type Frame struct {
 	ClientID      uint32
@@ -81,6 +97,7 @@ type Frame struct {
 	CaptureMicros uint64 // client capture timestamp (µs since epoch/run start)
 	Payload       []byte
 	Stages        []StageRecord // scAtteR++ sidecar analytics
+	Spans         []SpanRecord  // optional per-frame tracing spans
 }
 
 // Codec constants.
@@ -89,7 +106,18 @@ const (
 	version       = 1
 	maxPayload    = 8 << 20 // 8 MiB guards against corrupt length fields
 	maxStages     = 64
+	maxSpans      = 64
+	maxSpanHost   = 255
 	fixedHdrBytes = 2 + 1 + 4 + 8 + 1 + 1 + 8 + 1 // magic..addrLen (before addr)
+
+	// flagStateless marks scAtteR++ frames carrying sift state; flagSpans
+	// marks the presence of the versioned span block.
+	flagStateless = 1 << 0
+	flagSpans     = 1 << 1
+
+	// spanBlockVersion versions the span block independently of the
+	// envelope, so tracing can evolve without a wire version bump.
+	spanBlockVersion = 1
 )
 
 // Codec errors.
@@ -108,6 +136,16 @@ func (f *Frame) MarshalBinary() ([]byte, error) {
 	if len(f.Stages) > maxStages {
 		return nil, fmt.Errorf("%w: %d stage records", ErrTooLarge, len(f.Stages))
 	}
+	if len(f.Spans) > maxSpans {
+		return nil, fmt.Errorf("%w: %d span records", ErrTooLarge, len(f.Spans))
+	}
+	spanBytes := 0
+	for _, s := range f.Spans {
+		if len(s.Host) > maxSpanHost {
+			return nil, fmt.Errorf("%w: span host %d bytes", ErrTooLarge, len(s.Host))
+		}
+		spanBytes += 3 + len(s.Host) + 24
+	}
 	var addr []byte
 	if f.ClientAddr.IsValid() {
 		b, err := f.ClientAddr.MarshalBinary()
@@ -119,7 +157,7 @@ func (f *Frame) MarshalBinary() ([]byte, error) {
 	if len(addr) > 255 {
 		return nil, fmt.Errorf("%w: address %d bytes", ErrTooLarge, len(addr))
 	}
-	size := fixedHdrBytes + len(addr) + 1 + len(f.Stages)*9 + 4 + len(f.Payload)
+	size := fixedHdrBytes + len(addr) + 1 + len(f.Stages)*9 + 2 + spanBytes + 4 + len(f.Payload)
 	buf := make([]byte, 0, size)
 	buf = binary.BigEndian.AppendUint16(buf, magic)
 	buf = append(buf, version)
@@ -128,7 +166,10 @@ func (f *Frame) MarshalBinary() ([]byte, error) {
 	buf = append(buf, byte(f.Step))
 	var flags byte
 	if f.Stateless {
-		flags |= 1
+		flags |= flagStateless
+	}
+	if len(f.Spans) > 0 {
+		flags |= flagSpans
 	}
 	buf = append(buf, flags)
 	buf = binary.BigEndian.AppendUint64(buf, f.CaptureMicros)
@@ -139,6 +180,17 @@ func (f *Frame) MarshalBinary() ([]byte, error) {
 		buf = append(buf, byte(s.Step))
 		buf = binary.BigEndian.AppendUint32(buf, s.QueueMicros)
 		buf = binary.BigEndian.AppendUint32(buf, s.ProcMicros)
+	}
+	if len(f.Spans) > 0 {
+		buf = append(buf, spanBlockVersion)
+		buf = append(buf, byte(len(f.Spans)))
+		for _, s := range f.Spans {
+			buf = append(buf, byte(s.Step), s.Outcome, byte(len(s.Host)))
+			buf = append(buf, s.Host...)
+			buf = binary.BigEndian.AppendUint64(buf, s.EnqueueMicros)
+			buf = binary.BigEndian.AppendUint64(buf, s.StartMicros)
+			buf = binary.BigEndian.AppendUint64(buf, s.EndMicros)
+		}
 	}
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Payload)))
 	buf = append(buf, f.Payload...)
@@ -181,7 +233,7 @@ func (f *Frame) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	f.Stateless = flags&1 != 0
+	f.Stateless = flags&flagStateless != 0
 	if f.CaptureMicros, err = r.u64(); err != nil {
 		return err
 	}
@@ -222,6 +274,53 @@ func (f *Frame) UnmarshalBinary(data []byte) error {
 		}
 		f.Stages = append(f.Stages, s)
 	}
+	f.Spans = f.Spans[:0]
+	if flags&flagSpans != 0 {
+		sv, err := r.u8()
+		if err != nil {
+			return err
+		}
+		if sv != spanBlockVersion {
+			return fmt.Errorf("%w: span block %d", ErrBadVersion, sv)
+		}
+		nSpans, err := r.u8()
+		if err != nil {
+			return err
+		}
+		if int(nSpans) > maxSpans {
+			return fmt.Errorf("%w: %d span records", ErrTooLarge, nSpans)
+		}
+		for i := 0; i < int(nSpans); i++ {
+			var s SpanRecord
+			st, err := r.u8()
+			if err != nil {
+				return err
+			}
+			s.Step = Step(st)
+			if s.Outcome, err = r.u8(); err != nil {
+				return err
+			}
+			hostLen, err := r.u8()
+			if err != nil {
+				return err
+			}
+			host, err := r.bytes(int(hostLen))
+			if err != nil {
+				return err
+			}
+			s.Host = string(host)
+			if s.EnqueueMicros, err = r.u64(); err != nil {
+				return err
+			}
+			if s.StartMicros, err = r.u64(); err != nil {
+				return err
+			}
+			if s.EndMicros, err = r.u64(); err != nil {
+				return err
+			}
+			f.Spans = append(f.Spans, s)
+		}
+	}
 	payLen, err := r.u32()
 	if err != nil {
 		return err
@@ -246,11 +345,21 @@ func (f *Frame) AddStage(step Step, queueMicros, procMicros uint32) {
 	f.Stages = append(f.Stages, StageRecord{Step: step, QueueMicros: queueMicros, ProcMicros: procMicros})
 }
 
+// AddSpan appends a tracing span, silently dropping records beyond the
+// codec limit (tracing is best-effort, like the sidecar analytics).
+func (f *Frame) AddSpan(s SpanRecord) {
+	if len(f.Spans) >= maxSpans {
+		return
+	}
+	f.Spans = append(f.Spans, s)
+}
+
 // Clone returns a deep copy of the frame.
 func (f *Frame) Clone() *Frame {
 	out := *f
 	out.Payload = append([]byte(nil), f.Payload...)
 	out.Stages = append([]StageRecord(nil), f.Stages...)
+	out.Spans = append([]SpanRecord(nil), f.Spans...)
 	return &out
 }
 

@@ -15,6 +15,9 @@
 //     reference images; NewProcessors returns the five services; the
 //     agent types run them over UDP with sidecars and state-fetch RPC.
 //   - Orchestration: NewOrchestrator, SLA, and the HTTP control plane.
+//   - Observability: per-frame Span tracing across sim and real runtime,
+//     the live ObsRegistry with Prometheus/JSON exposition (ServeObs),
+//     and Chrome trace export (WriteChromeTrace) for Perfetto.
 //   - Experiments: the Fig2…Fig12 and Headline runners regenerate the
 //     paper's evaluation.
 //
@@ -23,6 +26,8 @@
 package scatter
 
 import (
+	"io"
+	"net/http"
 	"time"
 
 	"github.com/edge-mar/scatter/internal/agent"
@@ -30,6 +35,7 @@ import (
 	"github.com/edge-mar/scatter/internal/experiments"
 	"github.com/edge-mar/scatter/internal/metrics"
 	"github.com/edge-mar/scatter/internal/netem"
+	"github.com/edge-mar/scatter/internal/obs"
 	"github.com/edge-mar/scatter/internal/orchestrator"
 	"github.com/edge-mar/scatter/internal/testbed"
 	"github.com/edge-mar/scatter/internal/trace"
@@ -154,6 +160,61 @@ func NewStaticRouter(hops map[Step][]string) *StaticRouter { return agent.NewSta
 // RPCStateFetcher connects matching to a remote sift's state store.
 func RPCStateFetcher(addr string, timeout time.Duration) core.StateFetcher {
 	return agent.RPCStateFetcher(addr, timeout)
+}
+
+// Observability: per-frame spans, live metrics registry, exposition.
+type (
+	// ObsRegistry is the lock-free live metrics registry (counters,
+	// gauges, latency histograms) workers and clients feed.
+	ObsRegistry = obs.Registry
+	// ServiceDigest is one service's live telemetry snapshot.
+	ServiceDigest = obs.ServiceDigest
+	// Span is one service's handling of one frame: queue-wait plus
+	// processing segments and an outcome.
+	Span = obs.Span
+	// SpanRecorder is a bounded in-memory span sink.
+	SpanRecorder = obs.Recorder
+	// SpanRecord is the wire form of a span as carried on frames.
+	SpanRecord = wire.SpanRecord
+	// ServiceTelemetry is the per-service digest carried in heartbeats.
+	ServiceTelemetry = orchestrator.ServiceTelemetry
+)
+
+// NewObsRegistry creates an empty live metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewSpanRecorder creates a bounded span sink (obs.DefaultMaxSpans when
+// max is zero or negative).
+func NewSpanRecorder(max int) *SpanRecorder { return obs.NewRecorder(max) }
+
+// ObsHandler serves /metrics, /metrics.json, /healthz, /spans,
+// /spans.trace, /debug/vars and /debug/pprof for a registry (rec may be
+// nil to disable the span endpoints).
+func ObsHandler(reg *ObsRegistry, rec *SpanRecorder) http.Handler {
+	return obs.Handler(reg, rec)
+}
+
+// ServeObs starts an HTTP server exposing ObsHandler on addr (":0" picks
+// an ephemeral port) and returns the server plus its bound address.
+func ServeObs(addr string, reg *ObsRegistry, rec *SpanRecorder) (*http.Server, string, error) {
+	return obs.Serve(addr, reg, rec)
+}
+
+// SpansFromWire converts the span records a result frame carried into
+// exporter-ready spans.
+func SpansFromWire(clientID uint32, frameNo uint64, recs []SpanRecord) []Span {
+	return obs.FromWire(clientID, frameNo, recs)
+}
+
+// NormalizeSpans shifts span timestamps so the earliest enqueue is zero —
+// use before exporting real-runtime spans, whose stamps are wall-clock.
+func NormalizeSpans(spans []Span) []Span { return obs.Normalize(spans) }
+
+// WriteChromeTrace renders spans as Chrome trace-event JSON loadable in
+// Perfetto / chrome://tracing: hosts become processes, services threads,
+// each frame a flow of queue and processing slices.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	return obs.WriteChromeTrace(w, spans)
 }
 
 // Orchestration.
