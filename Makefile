@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz figures examples clean
+.PHONY: all build vet test race cover bench fuzz figures examples chaos clean
 
 all: build test
 
@@ -13,11 +13,11 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The concurrent observability layer (live registry, span recorder, real
-# runtime instrumentation) always gets a race pass.
+# The concurrent layers (live registry, span recorder, runtime workers,
+# fault-injection transport) always get a race pass.
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/agent
+	$(GO) test -race ./internal/obs ./internal/agent ./internal/transport ./internal/netem
 
 race:
 	$(GO) test -race ./...
@@ -37,6 +37,12 @@ bench:
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzUnmarshalBinary -fuzztime 30s
 	$(GO) test ./internal/core -fuzz FuzzDecodePayload -fuzztime 30s
+
+# Chaos suite: fault-injected transports, mid-run partitions, machine
+# kills, and the end-to-end failover/recovery acceptance run — all under
+# the race detector.
+chaos:
+	$(GO) test -race -run 'Chaos|Failover|Fault|Partition|Reconnect' -v ./internal/transport ./internal/agent
 
 examples:
 	$(GO) run ./examples/quickstart

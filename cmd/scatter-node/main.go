@@ -22,12 +22,16 @@
 //	    "lsh": ["127.0.0.1:7004"], "matching": ["127.0.0.1:7005"]
 //	  },
 //	  "obs_listen": "127.0.0.1:9100",
-//	  "trace_spans": true
+//	  "trace_spans": true,
+//	  "fault": {"packet_loss": 0.01, "delay_ms": 5, "seed": 42}
 //	}
 //
 // obs_listen serves live telemetry (/metrics, /metrics.json, /healthz,
 // /debug/vars, /debug/pprof); trace_spans stamps per-service spans onto
-// frames for end-to-end trace reconstruction at the client.
+// frames for end-to-end trace reconstruction at the client; fault (all
+// fields optional) injects drops, compounding per-fragment loss, delay,
+// jitter, and duplication on this node's outbound traffic for chaos
+// experiments.
 //
 // Split deployments run scatter-node on several machines with routes
 // pointing across hosts, exactly as the paper pins services to E1/E2.
@@ -51,6 +55,7 @@ import (
 	"github.com/edge-mar/scatter/internal/obs"
 	"github.com/edge-mar/scatter/internal/orchestrator"
 	"github.com/edge-mar/scatter/internal/trace"
+	"github.com/edge-mar/scatter/internal/transport"
 	"github.com/edge-mar/scatter/internal/wire"
 )
 
@@ -59,6 +64,28 @@ type serviceSpec struct {
 	Listen   string `json:"listen"`
 	StateRPC string `json:"state_rpc,omitempty"`
 	SiftRPC  string `json:"sift_rpc,omitempty"`
+}
+
+// faultSpec configures outbound fault injection for every worker on this
+// node — the deployment-level knob for chaos experiments (see
+// EXPERIMENTS.md). All fields optional; the zero value injects nothing.
+type faultSpec struct {
+	Drop       float64 `json:"drop,omitempty"`        // per-message drop probability
+	PacketLoss float64 `json:"packet_loss,omitempty"` // per-1500B-fragment loss
+	DelayMs    int     `json:"delay_ms,omitempty"`
+	JitterMs   int     `json:"jitter_ms,omitempty"`
+	Duplicate  float64 `json:"duplicate,omitempty"`
+	Seed       int64   `json:"seed,omitempty"` // fault pattern seed (default 1)
+}
+
+func (f *faultSpec) policy() transport.FaultPolicy {
+	return transport.FaultPolicy{
+		Drop:       f.Drop,
+		PacketLoss: f.PacketLoss,
+		Delay:      time.Duration(f.DelayMs) * time.Millisecond,
+		Jitter:     time.Duration(f.JitterMs) * time.Millisecond,
+		Duplicate:  f.Duplicate,
+	}
 }
 
 type nodeConfig struct {
@@ -81,6 +108,9 @@ type nodeConfig struct {
 	// clients can reconstruct queue-wait vs processing segments. Off by
 	// default: benchmark runs carry no tracing overhead.
 	TraceSpans bool `json:"trace_spans,omitempty"`
+	// Fault, when set, wraps every worker's endpoint in a fault injector
+	// applying the policy to all outbound traffic from this node.
+	Fault *faultSpec `json:"fault,omitempty"`
 }
 
 // telemetryDigest converts the node's live registry digest into the
@@ -101,15 +131,6 @@ func telemetryDigest(reg *obs.Registry) []orchestrator.ServiceTelemetry {
 		})
 	}
 	return out
-}
-
-func parseStep(name string) (wire.Step, error) {
-	for s := wire.StepPrimary; s < wire.StepDone; s++ {
-		if s.String() == strings.ToLower(name) {
-			return s, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown service %q", name)
 }
 
 func main() {
@@ -164,7 +185,7 @@ func main() {
 
 	hops := make(map[wire.Step][]string)
 	for name, addrs := range cfg.Routes {
-		step, err := parseStep(name)
+		step, err := wire.ParseStep(strings.ToLower(name))
 		if err != nil {
 			log.Error("route", "err", err)
 			os.Exit(2)
@@ -172,6 +193,31 @@ func main() {
 		hops[step] = addrs
 	}
 	router := agent.NewStaticRouter(hops)
+
+	// Optional fault injection: every worker's outbound traffic goes
+	// through the same policy, like tc/netem qdiscs on the node's egress.
+	var wrapEndpoint func(transport.Endpoint) transport.Endpoint
+	if cfg.Fault != nil {
+		policy := cfg.Fault.policy()
+		if err := policy.Validate(); err != nil {
+			log.Error("fault config", "err", err)
+			os.Exit(2)
+		}
+		seed := cfg.Fault.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		wrapEndpoint = func(ep transport.Endpoint) transport.Endpoint {
+			return transport.NewFaultyEndpoint(ep, policy, seed)
+		}
+		log.Info("fault injection armed", "drop", policy.Drop,
+			"packet_loss", policy.PacketLoss, "delay", policy.Delay)
+	}
+
+	// Lifetime context for in-flight state fetches: cancelled at shutdown
+	// so a dead sift peer cannot hold matching goroutines to the timeout.
+	rootCtx, cancelRoot := context.WithCancel(context.Background())
+	defer cancelRoot()
 
 	// Live metrics registry shared by every worker on this node; the
 	// span host label prefers the orchestrator node name.
@@ -184,7 +230,7 @@ func main() {
 	stateless := mode == core.ModeScatterPP
 	var workers []*agent.Worker
 	for _, svc := range cfg.Services {
-		step, err := parseStep(svc.Step)
+		step, err := wire.ParseStep(strings.ToLower(svc.Step))
 		if err != nil {
 			log.Error("service", "err", err)
 			os.Exit(2)
@@ -206,7 +252,7 @@ func main() {
 					log.Error("stateful matching requires sift_rpc", "service", svc.Step)
 					os.Exit(2)
 				}
-				fetch = agent.RPCStateFetcher(svc.SiftRPC, 2*time.Second)
+				fetch = agent.RPCStateFetcherContext(rootCtx, svc.SiftRPC, 2*time.Second)
 			}
 			proc = core.NewMatching(model.Objects, fetch)
 		}
@@ -218,6 +264,7 @@ func main() {
 			Router:         router,
 			StateRPCListen: svc.StateRPC,
 			Network:        cfg.Network,
+			WrapEndpoint:   wrapEndpoint,
 			Log:            log,
 			Obs:            reg,
 			Host:           hostLabel,
@@ -291,7 +338,8 @@ func main() {
 				log.Info("stats", "service", cfg.Services[i].Step,
 					"received", st.Received, "processed", st.Processed,
 					"drop_busy", st.DroppedBusy, "drop_queue", st.DroppedQueue,
-					"drop_threshold", st.DroppedThreshold, "errors", st.Errors)
+					"drop_threshold", st.DroppedThreshold, "errors", st.Errors,
+					"forward_retries", st.ForwardRetries)
 			}
 		}
 	}()

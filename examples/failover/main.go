@@ -1,9 +1,15 @@
-// Failover: demonstrate the orchestrator's automatic service recovery —
-// the Oakestra behaviour the paper relies on ("automatically re-deploying
-// services upon failures"). E1 and E2 register and heartbeat; the scAtteR
-// SLA deploys across them with priority-ordered machine preferences; then E1
-// goes silent and the failure detector migrates its services to E2,
-// honouring the GPU and memory constraints.
+// Failover: run the real pipeline under the control plane and crash a
+// machine mid-stream. E1 and E2 register with the Oakestra-style root;
+// the scAtteR SLA deploys across them — sift, the heavy stage, on E1,
+// everything else (including the client-facing primary, which in the
+// paper runs near the device) on E2 — and the Deployer starts a real
+// UDP worker per placed instance. A client streams the synthetic clip
+// while the primary→sift link carries 1% injected per-packet loss;
+// then E1 "loses power": its worker dies and its heartbeats stop. The
+// failure detector migrates sift to E2, the lifecycle hooks start a
+// replacement worker, the routing table is repaired — and the
+// per-second FPS trace shows throughput collapsing at the crash and
+// recovering after the migration.
 //
 //	go run ./examples/failover
 package main
@@ -11,75 +17,165 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync/atomic"
 	"time"
 
 	scatter "github.com/edge-mar/scatter"
 )
 
 func main() {
-	orch := scatter.NewOrchestrator()
-	start := time.Now()
+	// Real vision processors over a trained model (scAtteR++ wiring:
+	// stateless sift, so instances can restart anywhere without state
+	// hand-off).
+	video := scatter.NewVideoSource(scatter.VideoConfig{W: 320, H: 180, FPS: 10, Seconds: 2, Seed: 7})
+	fmt.Println("training recognition model...")
+	model, err := scatter.Train(video.ReferenceImages(), scatter.TrainConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Data plane: the Deployer starts/stops workers as the control plane
+	// schedules instances, and keeps the router in sync. The primary
+	// worker's egress is wrapped in a fault injector: 1% per-packet loss
+	// on everything it forwards, the paper's lossy-link condition.
+	router := scatter.NewStaticRouter(nil)
+	var fault *scatter.FaultyEndpoint
+	dep, err := scatter.NewDeployer(scatter.DeployerConfig{
+		Mode:   scatter.ModeScatterPP,
+		Router: router,
+		NewProcessor: func(step scatter.Step) scatter.Processor {
+			procs := scatter.NewProcessors(model, true, 320, 180)
+			return procs[step]
+		},
+		Configure: func(wc *scatter.WorkerConfig) {
+			if wc.Step == scatter.StepPrimary {
+				wc.WrapEndpoint = func(ep scatter.Endpoint) scatter.Endpoint {
+					fault = scatter.NewFaultyEndpoint(ep, scatter.FaultPolicy{PacketLoss: 0.01}, 42)
+					return fault
+				}
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+
+	// Control plane: hooks wire scheduling decisions to real workers.
+	orch := scatter.NewOrchestrator(
+		scatter.WithOrchestratorHooks(dep.Hooks()),
+		scatter.WithHeartbeatTimeout(2*time.Second),
+	)
 	nodes := []scatter.NodeInfo{
 		{Name: "E1", Cluster: "edge", CPUCores: 16, GPUs: 2, GPUArch: "geforce-rtx", MemBytes: 128 << 30},
 		{Name: "E2", Cluster: "edge", CPUCores: 64, GPUs: 2, GPUArch: "ampere", MemBytes: 264 << 30},
 	}
 	for _, n := range nodes {
-		if err := orch.RegisterNode(n, start); err != nil {
+		if err := orch.RegisterNode(n, time.Now()); err != nil {
 			log.Fatal(err)
 		}
 	}
-
-	gpus := []string{"geforce-rtx", "ampere"}
-	sla := scatter.SLA{AppName: "scatter", Microservices: []scatter.ServiceSLA{
-		{Name: "primary", Image: "scatter/primary", Replicas: 1,
-			Requirements: scatter.Requirements{MemBytes: 400 << 20, Machines: []string{"E1", "E2"}}},
-		{Name: "sift", Image: "scatter/sift", Replicas: 1,
-			Requirements: scatter.Requirements{MemBytes: 1200 << 20, NeedsGPU: true, GPUArchIn: gpus, Machines: []string{"E1", "E2"}}},
-		{Name: "encoding", Image: "scatter/encoding", Replicas: 1,
-			Requirements: scatter.Requirements{MemBytes: 800 << 20, NeedsGPU: true, GPUArchIn: gpus, Machines: []string{"E2", "E1"}}},
-		{Name: "lsh", Image: "scatter/lsh", Replicas: 1,
-			Requirements: scatter.Requirements{MemBytes: 600 << 20, NeedsGPU: true, GPUArchIn: gpus, Machines: []string{"E2", "E1"}}},
-		{Name: "matching", Image: "scatter/matching", Replicas: 1,
-			Requirements: scatter.Requirements{MemBytes: 1000 << 20, NeedsGPU: true, GPUArchIn: gpus, Machines: []string{"E2", "E1"}}},
-	}}
-	dep, err := orch.Deploy(sla)
+	pins := map[string][]string{
+		"primary": {"E2", "E1"}, "sift": {"E1", "E2"},
+		"encoding": {"E2", "E1"}, "lsh": {"E2", "E1"}, "matching": {"E2", "E1"},
+	}
+	var services []scatter.ServiceSLA
+	mems := map[string]int64{"primary": 400 << 20, "sift": 1200 << 20,
+		"encoding": 800 << 20, "lsh": 600 << 20, "matching": 1000 << 20}
+	for _, name := range []string{"primary", "sift", "encoding", "lsh", "matching"} {
+		services = append(services, scatter.ServiceSLA{
+			Name: name, Image: "scatter/" + name, Replicas: 1,
+			Requirements: scatter.Requirements{MemBytes: mems[name], Machines: pins[name]},
+		})
+	}
+	deployment, err := orch.Deploy(scatter.SLA{AppName: "scatter", Microservices: services})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("initial placement (C12):")
-	for _, in := range dep.Instances {
-		fmt.Printf("  %-9s -> %s\n", in.Service, in.Node)
+	fmt.Println("initial placement:")
+	for _, inst := range deployment.Instances {
+		fmt.Printf("  %-9s -> %s\n", inst.Service, inst.Node)
 	}
 
-	// Both nodes heartbeat for a while...
-	for i := 1; i <= 3; i++ {
-		at := start.Add(time.Duration(i) * time.Second)
-		for _, n := range nodes {
-			if err := orch.Heartbeat(n.Name, scatter.NodeStatusAt(at)); err != nil {
-				log.Fatal(err)
+	// Heartbeats and failure detection run for real: E2 reports forever,
+	// E1 only until the crash.
+	e1Alive := atomic.Bool{}
+	e1Alive.Store(true)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		ticker := time.NewTicker(300 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				orch.Heartbeat("E2", scatter.NodeStatusAt(time.Now()))
+				if e1Alive.Load() {
+					orch.Heartbeat("E1", scatter.NodeStatusAt(time.Now()))
+				}
+				for _, inst := range orch.DetectFailures(time.Now()) {
+					fmt.Printf("  [control] migrated %s -> %s\n", inst.Service, inst.Node)
+				}
 			}
 		}
+	}()
+
+	ingress, ok := router.Next(scatter.StepPrimary)
+	if !ok {
+		log.Fatal("no primary route")
 	}
-	fmt.Println("\nE1 stops heartbeating (power loss)...")
-	// E2 keeps reporting; E1 goes silent past the 3s timeout.
-	for i := 4; i <= 8; i++ {
-		at := start.Add(time.Duration(i) * time.Second)
-		if err := orch.Heartbeat("E2", scatter.NodeStatusAt(at)); err != nil {
-			log.Fatal(err)
+	var received atomic.Uint64
+	client, err := scatter.StartClient(scatter.ClientConfig{
+		ID: 1, FPS: 10, Ingress: ingress,
+		NextFrame: func(i int) []byte { return scatter.FramePayload(video, i) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	go func() {
+		for range client.Results() {
+			received.Add(1)
 		}
-	}
-	migrated := orch.DetectFailures(start.Add(8 * time.Second))
-	fmt.Printf("failure detector migrated %d instance(s):\n", len(migrated))
-	for _, in := range migrated {
-		fmt.Printf("  %-9s -> %s\n", in.Service, in.Node)
+	}()
+
+	// Stream healthy for 4 s, crash E1, keep streaming while the control
+	// loop detects the failure and repairs the deployment.
+	fmt.Println("\nstreaming (per-second delivered FPS):")
+	const crashAt, total = 4, 14
+	var last uint64
+	for sec := 1; sec <= total; sec++ {
+		time.Sleep(time.Second)
+		now := received.Load()
+		marker := ""
+		if sec == crashAt {
+			killed := dep.Kill("E1")
+			e1Alive.Store(false)
+			marker = fmt.Sprintf("  <- E1 crashes (%d worker dies, heartbeats stop)", killed)
+		}
+		fmt.Printf("  t=%2ds  %2d fps%s\n", sec, now-last, marker)
+		last = now
 	}
 
-	dep2, err := orch.Deployment("scatter")
+	final, err := orch.Deployment("scatter")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nfinal placement:")
-	for _, in := range dep2.Instances {
-		fmt.Printf("  %-9s -> %s (%s)\n", in.Service, in.Node, in.State)
+	for _, inst := range final.Instances {
+		fmt.Printf("  %-9s -> %s (%s)\n", inst.Service, inst.Node, inst.State)
 	}
+	if fault != nil {
+		// Dropped counts whole frames: 1% per-packet loss compounds across
+		// each frame's UDP fragments (paper Fig. 11), so large frames die
+		// far more often than 1%.
+		st := fault.Stats()
+		fmt.Printf("\ninjected loss at primary egress: frames sent=%d dropped=%d (1%% per-packet)\n",
+			st.Sent, st.Dropped)
+	}
+	stats := dep.Stats()
+	fmt.Printf("replacement workers processed: sift=%d primary=%d\n",
+		stats["sift"].Processed, stats["primary"].Processed)
 }

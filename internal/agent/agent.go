@@ -88,7 +88,9 @@ type WorkerStats struct {
 	DroppedBusy      uint64 // scAtteR busy-drops
 	DroppedQueue     uint64 // sidecar queue overflow
 	DroppedThreshold uint64 // sidecar latency-threshold drops
+	DroppedShutdown  uint64 // abandoned in the sidecar queue at Close
 	Errors           uint64
+	ForwardRetries   uint64 // next-hop send retries under the budget
 	QueueMicros      uint64 // total queueing time of processed frames
 	ProcMicros       uint64 // total processing time
 }
@@ -114,6 +116,17 @@ type WorkerConfig struct {
 	// paper's baseline) or "tcp" (the reliable alternative of A.1.2).
 	// All workers of one deployment must agree.
 	Network string
+	// WrapEndpoint, when set, wraps the worker's transport endpoint after
+	// binding — the hook chaos tests and fault-injection deployments use
+	// to interpose a transport.FaultyEndpoint on real sockets.
+	WrapEndpoint func(transport.Endpoint) transport.Endpoint
+	// ForwardAttempts is the total number of send attempts per outbound
+	// frame, including the first (default 2). Retries re-resolve the route
+	// so they can fail over to another replica of the next hop.
+	ForwardAttempts int
+	// ForwardBackoff is the delay before the second attempt, doubling per
+	// attempt (default 25 ms).
+	ForwardBackoff time.Duration
 	// Obs, when set, receives live per-service telemetry (arrivals,
 	// drops, queue/proc latency histograms) — the concurrent registry an
 	// exposition endpoint and orchestrator heartbeats read during the
@@ -127,6 +140,12 @@ type WorkerConfig struct {
 	// carries its own latency decomposition across hosts. Off by default:
 	// spans cost ~35 bytes per stage on the wire.
 	TraceSpans bool
+	// Spans, when TraceSpans is on, receives the spans that cannot ride a
+	// frame because the frame died here: busy/overflow/threshold drops,
+	// processing errors, and shutdown-abandoned frames all record a
+	// drop-outcome span locally, so traces and drop counters tell one
+	// story. OK spans still travel on the frame only.
+	Spans *obs.Recorder
 	// Log defaults to slog.Default().
 	Log *slog.Logger
 }
@@ -164,10 +183,11 @@ type Worker struct {
 	// no registry was configured).
 	live *obs.ServiceMetrics
 
-	received, processed           atomic.Uint64
-	droppedBusy, droppedQueue     atomic.Uint64
-	droppedThreshold, errorsCount atomic.Uint64
-	queueMicros, procMicros       atomic.Uint64
+	received, processed             atomic.Uint64
+	droppedBusy, droppedQueue       atomic.Uint64
+	droppedThreshold, errorsCount   atomic.Uint64
+	droppedShutdown, forwardRetries atomic.Uint64
+	queueMicros, procMicros         atomic.Uint64
 }
 
 type queuedItem struct {
@@ -192,6 +212,12 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	}
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 64
+	}
+	if cfg.ForwardAttempts <= 0 {
+		cfg.ForwardAttempts = 2
+	}
+	if cfg.ForwardBackoff <= 0 {
+		cfg.ForwardBackoff = 25 * time.Millisecond
 	}
 	if cfg.Log == nil {
 		cfg.Log = slog.Default()
@@ -231,6 +257,9 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 		}
 		return nil, err
 	}
+	if cfg.WrapEndpoint != nil {
+		conn = cfg.WrapEndpoint(conn)
+	}
 	w.conn.Store(&endpointBox{ep: conn})
 	if w.queue != nil {
 		w.wg.Add(1)
@@ -246,7 +275,10 @@ func (w *Worker) Addr() string { return w.conn.Load().ep.LocalAddr() }
 // worker serves no state.
 func (w *Worker) RPCAddr() string { return w.rpcAddr }
 
-// Close stops the worker.
+// Close stops the worker. Frames still waiting in the scAtteR++ sidecar
+// queue are accounted as shutdown drops (with drop-outcome spans when
+// tracing) rather than silently abandoned, so counters reconcile with
+// arrivals across a failover.
 func (w *Worker) Close() error {
 	select {
 	case <-w.done:
@@ -259,7 +291,47 @@ func (w *Worker) Close() error {
 		w.rpc.Close()
 	}
 	w.wg.Wait()
+	if w.queue != nil {
+		now := time.Now()
+		for {
+			select {
+			case item := <-w.queue:
+				w.droppedShutdown.Add(1)
+				if w.live != nil {
+					w.live.Dropped.Inc()
+				}
+				w.dropSpan(item.fr, obs.OutcomeShutdown, item.at, now, now)
+			default:
+				if w.live != nil {
+					w.live.QueueLen.Set(0)
+				}
+				return err
+			}
+		}
+	}
 	return err
+}
+
+// dropSpan records a local span for a frame that died at this worker and
+// therefore cannot carry its span downstream. No-op unless TraceSpans is
+// on (Recorder.Record is nil-safe, so an unset Spans sink is fine).
+func (w *Worker) dropSpan(fr *wire.Frame, outcome obs.Outcome, enq, start, end time.Time) {
+	if !w.cfg.TraceSpans {
+		return
+	}
+	w.cfg.Spans.Record(obs.Span{
+		Service:   w.cfg.Step.String(),
+		Host:      w.cfg.Host,
+		Step:      w.cfg.Step,
+		ClientID:  fr.ClientID,
+		FrameNo:   fr.FrameNo,
+		EnqueueAt: time.Duration(enq.UnixMicro()) * time.Microsecond,
+		StartAt:   time.Duration(start.UnixMicro()) * time.Microsecond,
+		EndAt:     time.Duration(end.UnixMicro()) * time.Microsecond,
+		Queue:     start.Sub(enq),
+		Proc:      end.Sub(start),
+		Outcome:   outcome,
+	})
 }
 
 // Stats returns a snapshot of the worker's counters.
@@ -270,7 +342,9 @@ func (w *Worker) Stats() WorkerStats {
 		DroppedBusy:      w.droppedBusy.Load(),
 		DroppedQueue:     w.droppedQueue.Load(),
 		DroppedThreshold: w.droppedThreshold.Load(),
+		DroppedShutdown:  w.droppedShutdown.Load(),
 		Errors:           w.errorsCount.Load(),
+		ForwardRetries:   w.forwardRetries.Load(),
 		QueueMicros:      w.queueMicros.Load(),
 		ProcMicros:       w.procMicros.Load(),
 	}
@@ -299,6 +373,7 @@ func (w *Worker) onMessage(data []byte, from net.Addr) {
 			if w.live != nil {
 				w.live.Dropped.Inc()
 			}
+			w.dropSpan(&fr, obs.OutcomeBusy, now, now, now)
 			return
 		}
 		w.wg.Add(1)
@@ -318,6 +393,7 @@ func (w *Worker) onMessage(data []byte, from net.Addr) {
 			if w.live != nil {
 				w.live.Dropped.Inc()
 			}
+			w.dropSpan(&fr, obs.OutcomeOverflow, now, now, now)
 		}
 	}
 }
@@ -338,6 +414,8 @@ func (w *Worker) sidecarLoop() {
 				if w.live != nil {
 					w.live.Dropped.Inc()
 				}
+				now := time.Now()
+				w.dropSpan(item.fr, obs.OutcomeThreshold, item.at, now, now)
 				continue
 			}
 			w.process(item.fr, item.at, wait)
@@ -352,6 +430,7 @@ func (w *Worker) process(fr *wire.Frame, enqueuedAt time.Time, queueWait time.Du
 		if w.live != nil {
 			w.live.Errors.Inc()
 		}
+		w.dropSpan(fr, obs.OutcomeError, enqueuedAt, start, time.Now())
 		w.cfg.Log.Debug("process failed", "step", w.cfg.Step, "err", err)
 		return
 	}
@@ -396,20 +475,55 @@ func (w *Worker) process(fr *wire.Frame, enqueuedAt time.Time, queueWait time.Du
 			w.errorsCount.Add(1)
 			return
 		}
-		if err := conn.SendToAddr(fr.ClientAddr.String(), data); err != nil {
+		clientAddr := fr.ClientAddr.String()
+		if err := w.forward(conn, func() (string, bool) { return clientAddr, true }, data); err != nil {
 			w.errorsCount.Add(1)
+			w.cfg.Log.Debug("deliver failed", "client", clientAddr, "err", err)
 		}
 		return
 	}
-	next, ok := w.cfg.Router.Next(fr.Step)
-	if !ok {
+	step := fr.Step
+	if err := w.forward(conn, func() (string, bool) { return w.cfg.Router.Next(step) }, data); err != nil {
 		w.errorsCount.Add(1)
-		w.cfg.Log.Warn("no route", "step", fr.Step)
-		return
+		w.cfg.Log.Warn("forward failed", "step", step, "err", err)
 	}
-	if err := conn.SendToAddr(next, data); err != nil {
-		w.errorsCount.Add(1)
+}
+
+// errNoRoute reports a step with no live replica in the routing table.
+var errNoRoute = errors.New("agent: no route for step")
+
+// forward sends an outbound frame under the worker's retry budget. The
+// destination is re-resolved on every attempt, so after a control-plane
+// route update a retry fails over to the replacement replica instead of
+// re-hitting the dead one — without retries, a send failure silently
+// loses the frame (it only shows up as an error count).
+func (w *Worker) forward(conn transport.Endpoint, resolve func() (string, bool), data []byte) error {
+	backoff := w.cfg.ForwardBackoff
+	var lastErr error
+	for attempt := 0; attempt < w.cfg.ForwardAttempts; attempt++ {
+		if attempt > 0 {
+			w.forwardRetries.Add(1)
+			t := time.NewTimer(backoff)
+			select {
+			case <-w.done:
+				t.Stop()
+				return transport.ErrClosed
+			case <-t.C:
+			}
+			backoff *= 2
+		}
+		addr, ok := resolve()
+		if !ok {
+			lastErr = errNoRoute
+			continue
+		}
+		if err := conn.SendToAddr(addr, data); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
 	}
+	return lastErr
 }
 
 // State-fetch RPC wiring (matching -> sift in the stateful pipeline).
@@ -437,13 +551,24 @@ func stateFetchHandler(s *core.SIFT) rpc.Handler {
 
 // RPCStateFetcher returns a core.StateFetcher that queries a sift
 // worker's state RPC endpoint — matching's half of the dependency loop.
+// Fetches are bounded by the per-call timeout only; callers that need to
+// abort in-flight fetches on shutdown use RPCStateFetcherContext.
 func RPCStateFetcher(addr string, timeout time.Duration) core.StateFetcher {
+	return RPCStateFetcherContext(context.Background(), addr, timeout)
+}
+
+// RPCStateFetcherContext is RPCStateFetcher with a caller-owned context:
+// every fetch aborts when ctx is cancelled, in addition to the per-call
+// timeout, so a matching worker shutting down mid-fetch (or a dead sift
+// peer) releases its processing goroutine immediately instead of riding
+// out the full timeout.
+func RPCStateFetcherContext(ctx context.Context, addr string, timeout time.Duration) core.StateFetcher {
 	client := rpc.Dial(addr, timeout)
 	return func(clientID uint32, frameNo uint64) (*core.Features, error) {
 		req := make([]byte, 12)
 		binary.BigEndian.PutUint32(req, clientID)
 		binary.BigEndian.PutUint64(req[4:], frameNo)
-		resp, err := client.Call(context.Background(), FetchMethod, req)
+		resp, err := client.Call(ctx, FetchMethod, req)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,107 @@
+package agent
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/transport"
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+// TestChaosPipelineRecovers is the acceptance chaos run: a pipeline with
+// 1% per-packet loss injected on primary→sift absorbs a 2-second
+// partition of that link plus a mid-run machine kill (encoding's node),
+// and once the control plane migrates the instance, throughput recovers
+// to within 20% of the fault-free baseline. It also checks the run
+// leaks no goroutines.
+func TestChaosPipelineRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e test")
+	}
+	g0 := runtime.NumGoroutine()
+
+	var primaryFault *transport.FaultyEndpoint
+	h := startFailoverDeployment(t, func(wc *WorkerConfig) {
+		if wc.Step == wire.StepPrimary {
+			wc.WrapEndpoint = func(ep transport.Endpoint) transport.Endpoint {
+				primaryFault = transport.NewFaultyEndpoint(ep, transport.FaultPolicy{}, 42)
+				return primaryFault
+			}
+		}
+	})
+	if primaryFault == nil {
+		t.Fatal("primary endpoint was not wrapped")
+	}
+	ingress, _ := h.dep.Addr(wire.StepPrimary)
+	siftAddr, ok := h.dep.Addr(wire.StepSIFT)
+	if !ok {
+		t.Fatal("no sift worker")
+	}
+
+	client, err := StartClient(ClientConfig{
+		ID: 7, FPS: 50, Ingress: ingress,
+		NextFrame: func(i int) []byte { return (&core.Payload{}).Encode() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fault-free baseline over a fixed window (after a short warmup so
+	// route rotation and socket buffers settle).
+	const window = 2 * time.Second
+	collectResults(client, 500*time.Millisecond)
+	baseline := collectResults(client, window)
+	if baseline == 0 {
+		t.Fatalf("no baseline throughput; stats: %+v", h.dep.Stats())
+	}
+
+	// Chaos: 1% per-packet loss on primary→sift for the rest of the run,
+	// a 2 s partition of the same link, and — while the link is dark —
+	// the encoding machine dies.
+	primaryFault.SetPeerPolicy(siftAddr, transport.FaultPolicy{PacketLoss: 0.01})
+	primaryFault.Partition(siftAddr)
+	time.Sleep(time.Second)
+	migrated := h.failNode(t, "n1", "n2")
+	if len(migrated) != 1 || migrated[0].Service != "encoding" {
+		t.Fatalf("migrated = %+v, want the encoding instance", migrated)
+	}
+	time.Sleep(time.Second)
+	primaryFault.Heal(siftAddr)
+
+	// Recovery: drain whatever straggled during the faults, then measure
+	// the same window. The 1% loss is still active — a recovered pipeline
+	// rides through it.
+	collectResults(client, 500*time.Millisecond)
+	recovered := collectResults(client, window)
+	if float64(recovered) < 0.8*float64(baseline) {
+		t.Errorf("post-recovery throughput %d over %v, want >= 80%% of baseline %d; fault stats %+v, worker stats %+v",
+			recovered, window, baseline, primaryFault.Stats(), h.dep.Stats())
+	}
+	st := primaryFault.Stats()
+	if st.Blackholed == 0 {
+		t.Error("partition blackholed nothing — chaos did not engage")
+	}
+
+	// Teardown everything and verify no goroutines leaked.
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.dep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= g0+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: started with %d, now %d\n%s",
+				g0, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

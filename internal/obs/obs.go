@@ -33,6 +33,7 @@ const (
 	OutcomeThreshold                // sidecar latency threshold exceeded
 	OutcomeTimeout                  // dependency wait timed out
 	OutcomeError                    // processing error (real runtime)
+	OutcomeShutdown                 // abandoned in-queue at worker shutdown
 )
 
 // String names the outcome for exposition and trace args.
@@ -50,6 +51,8 @@ func (o Outcome) String() string {
 		return "drop-timeout"
 	case OutcomeError:
 		return "error"
+	case OutcomeShutdown:
+		return "drop-shutdown"
 	default:
 		return "unknown"
 	}

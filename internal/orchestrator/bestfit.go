@@ -17,10 +17,12 @@ type BestFitScheduler struct{}
 func (BestFitScheduler) Place(svc ServiceSLA, candidates []*node) ([]*node, error) {
 	r := svc.Requirements
 	var out []*node
+	// In-pass reservations stay local: Place must not mutate candidates.
+	extraMem := make(map[*node]int64)
 	for replica := 0; replica < svc.Replicas; replica++ {
 		var feasible []*node
 		for _, n := range candidates {
-			if n.feasible(r) {
+			if n.feasible(r, extraMem[n]) {
 				feasible = append(feasible, n)
 			}
 		}
@@ -40,15 +42,15 @@ func (BestFitScheduler) Place(svc ServiceSLA, candidates []*node) ([]*node, erro
 			if pa, pb := pinRank(a), pinRank(b); pa != pb {
 				return pa < pb
 			}
-			af := a.info.MemBytes - a.reservedMem
-			bf := b.info.MemBytes - b.reservedMem
+			af := a.info.MemBytes - a.reservedMem - extraMem[a]
+			bf := b.info.MemBytes - b.reservedMem - extraMem[b]
 			if af != bf {
 				return af < bf // tightest fit first
 			}
 			return a.info.Name < b.info.Name
 		})
 		pick := feasible[0]
-		pick.reservedMem += r.MemBytes
+		extraMem[pick] += r.MemBytes
 		out = append(out, pick)
 	}
 	return out, nil

@@ -78,7 +78,7 @@ func (h HierarchicalScheduler) pickCluster(svc ServiceSLA, candidates []*node, a
 			byName[n.info.Cluster] = a
 		}
 		a.free += n.info.MemBytes - n.reservedMem
-		if n.feasible(svc.Requirements) {
+		if n.feasible(svc.Requirements, 0) {
 			a.feasible = true
 		}
 	}

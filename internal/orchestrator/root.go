@@ -173,8 +173,10 @@ func (r *Root) Deploy(sla SLA) (*Deployment, error) {
 				len(nodes), svc.Replicas, svc.Name))
 		}
 		for replica, n := range nodes {
-			n.instances++
+			// The Root commits all bookkeeping; Place is pure.
 			mem := svc.Requirements.MemBytes
+			n.instances++
+			n.reservedMem += mem
 			n := n
 			reservations = append(reservations, func() {
 				n.instances--
@@ -217,6 +219,12 @@ func (r *Root) Undeploy(app string) error {
 	var removed []Instance
 	for _, inst := range state.instances {
 		removed = append(removed, *inst)
+		if inst.State == StateFailed {
+			// A failed migration already released the dead node's
+			// reservation in DetectFailures and never acquired a new one;
+			// releasing again would leak capacity to other apps.
+			continue
+		}
 		if n, ok := r.nodes[inst.Node]; ok {
 			n.instances--
 			n.reservedMem -= r.memOfLocked(state.sla, inst.Service)
@@ -407,7 +415,12 @@ func (r *Root) DetectFailures(now time.Time) []Instance {
 			continue
 		}
 		n := nodes[0]
+		// Commit the full reservation on the target. Incrementing only the
+		// instance count here (the old bug) made migrated services invisible
+		// to memory feasibility, so repeated failovers could overcommit a
+		// node far past its capacity.
 		n.instances++
+		n.reservedMem += m.svc.Requirements.MemBytes
 		m.inst.Node = n.info.Name
 		m.inst.State = StateRunning
 		removedOld = append(removedOld, m.old)

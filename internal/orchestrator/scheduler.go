@@ -22,8 +22,11 @@ type node struct {
 	alive     bool
 }
 
-// feasible reports whether the node satisfies the requirements.
-func (n *node) feasible(r Requirements) bool {
+// feasible reports whether the node satisfies the requirements, given
+// extraMem bytes already tentatively placed on it earlier in the same
+// scheduling pass. Place must not mutate candidates, so in-pass
+// reservations travel beside the node, not on it.
+func (n *node) feasible(r Requirements, extraMem int64) bool {
 	if !n.alive {
 		return false
 	}
@@ -66,7 +69,7 @@ func (n *node) feasible(r Requirements) bool {
 			return false
 		}
 	}
-	if n.reservedMem+r.MemBytes > n.info.MemBytes {
+	if n.reservedMem+extraMem+r.MemBytes > n.info.MemBytes {
 		return false
 	}
 	return true
@@ -76,7 +79,11 @@ func (n *node) feasible(r Requirements) bool {
 // be deterministic for a given input, so experiment placements reproduce.
 type Scheduler interface {
 	// Place returns one node per replica (a node may repeat). It must not
-	// mutate the candidates.
+	// mutate the candidates: the Root alone commits reservations
+	// (instances, reserved memory) once a placement is accepted, so a
+	// rejected or partially failed placement leaves no residue. Replicas
+	// placed earlier in the same call must be tracked locally when judging
+	// feasibility of later ones.
 	Place(svc ServiceSLA, candidates []*node) ([]*node, error)
 }
 
@@ -92,12 +99,14 @@ type SpreadScheduler struct{}
 func (SpreadScheduler) Place(svc ServiceSLA, candidates []*node) ([]*node, error) {
 	r := svc.Requirements
 	var out []*node
-	// Track per-call instance counts so multiple replicas spread.
+	// Track per-call placements locally so multiple replicas spread and
+	// memory feasibility accounts for them — candidates stay unmutated.
 	extra := make(map[*node]int)
+	extraMem := make(map[*node]int64)
 	for replica := 0; replica < svc.Replicas; replica++ {
 		var feasible []*node
 		for _, n := range candidates {
-			if n.feasible(r) {
+			if n.feasible(r, extraMem[n]) {
 				feasible = append(feasible, n)
 			}
 		}
@@ -124,8 +133,8 @@ func (SpreadScheduler) Place(svc ServiceSLA, candidates []*node) ([]*node, error
 			if ai != bi {
 				return ai < bi
 			}
-			af := a.info.MemBytes - a.reservedMem
-			bf := b.info.MemBytes - b.reservedMem
+			af := a.info.MemBytes - a.reservedMem - extraMem[a]
+			bf := b.info.MemBytes - b.reservedMem - extraMem[b]
 			if af != bf {
 				return af > bf
 			}
@@ -143,7 +152,7 @@ func (SpreadScheduler) Place(svc ServiceSLA, candidates []*node) ([]*node, error
 				}
 			}
 		}
-		pick.reservedMem += r.MemBytes
+		extraMem[pick] += r.MemBytes
 		extra[pick]++
 		out = append(out, pick)
 	}

@@ -6,26 +6,73 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 )
 
+// TCPOptions tune the failure behaviour of the framed TCP endpoint. The
+// zero value of any field selects its default.
+type TCPOptions struct {
+	// DialTimeout bounds on-demand connection establishment (default 3 s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds each framed write: a send to a blackholed peer
+	// (accepting but not draining, or silently partitioned) fails after
+	// this long instead of blocking on a full socket buffer (default 5 s).
+	WriteTimeout time.Duration
+	// Attempts is the total number of dial+write attempts per message,
+	// including the first (default 3). Between attempts the sender backs
+	// off exponentially with jitter.
+	Attempts int
+	// Backoff is the base delay before the second attempt; it doubles per
+	// attempt up to MaxBackoff, each with up to 50% added jitter
+	// (default 50 ms).
+	Backoff time.Duration
+	// MaxBackoff caps the per-attempt backoff (default 1 s).
+	MaxBackoff time.Duration
+}
+
+// withDefaults fills unset fields.
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 5 * time.Second
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = time.Second
+	}
+	return o
+}
+
 // TCPConn is a framed, connection-oriented message endpoint: the
 // "improved network protocol" alternative the paper's A.1.2 suggests in
 // place of raw UDP. Messages are length-prefixed (u32 big-endian) on
 // persistent connections; outbound connections are dialed on demand,
-// pooled per destination, and re-dialed once after a write failure.
-// Unlike the UDP endpoint, delivery is reliable and ordered per peer —
-// losses become latency instead of missing frames.
+// pooled per destination, and re-established under a bounded
+// exponential-backoff retry budget when a write or dial fails. Every
+// write carries a deadline, so a blackholed peer costs bounded latency
+// per message instead of wedging senders. Unlike the UDP endpoint,
+// delivery is reliable and ordered per peer — losses become latency
+// instead of missing frames.
 type TCPConn struct {
 	ln      net.Listener
 	handler Handler
+	opts    TCPOptions
 
 	mu      sync.Mutex
 	peers   map[string]*tcpPeer
 	inbound map[net.Conn]struct{}
 	closed  bool
+	done    chan struct{}
 	wg      sync.WaitGroup
 }
 
@@ -34,12 +81,14 @@ type tcpPeer struct {
 	conn net.Conn
 }
 
-// tcpDialTimeout bounds on-demand connection establishment.
-const tcpDialTimeout = 3 * time.Second
-
-// ListenTCP binds a framed TCP endpoint on addr and delivers inbound
-// messages to handler.
+// ListenTCP binds a framed TCP endpoint on addr with default options and
+// delivers inbound messages to handler.
 func ListenTCP(addr string, handler Handler) (*TCPConn, error) {
+	return ListenTCPOpts(addr, handler, TCPOptions{})
+}
+
+// ListenTCPOpts is ListenTCP with explicit failure-behaviour options.
+func ListenTCPOpts(addr string, handler Handler, opts TCPOptions) (*TCPConn, error) {
 	if handler == nil {
 		return nil, errors.New("transport: nil handler")
 	}
@@ -50,8 +99,10 @@ func ListenTCP(addr string, handler Handler) (*TCPConn, error) {
 	c := &TCPConn{
 		ln:      ln,
 		handler: handler,
+		opts:    opts.withDefaults(),
 		peers:   make(map[string]*tcpPeer),
 		inbound: make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
@@ -61,7 +112,8 @@ func ListenTCP(addr string, handler Handler) (*TCPConn, error) {
 // LocalAddr implements Endpoint.
 func (c *TCPConn) LocalAddr() string { return c.ln.Addr().String() }
 
-// Close implements Endpoint.
+// Close implements Endpoint. It also aborts senders waiting in a retry
+// backoff.
 func (c *TCPConn) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -69,6 +121,7 @@ func (c *TCPConn) Close() error {
 		return nil
 	}
 	c.closed = true
+	close(c.done)
 	peers := make([]*tcpPeer, 0, len(c.peers))
 	for _, p := range c.peers {
 		peers = append(peers, p)
@@ -140,7 +193,10 @@ func (c *TCPConn) readLoop(conn net.Conn) {
 }
 
 // SendToAddr implements Endpoint: it frames data onto a pooled connection
-// to addr, re-dialing once if the cached connection has gone stale.
+// to addr under the endpoint's retry budget — each attempt dials (if
+// needed) and writes under a deadline; failed attempts invalidate the
+// pooled connection and back off exponentially with jitter before the
+// next. Returns the last attempt's error when the budget is exhausted.
 func (c *TCPConn) SendToAddr(addr string, data []byte) error {
 	if len(data) > maxMessage {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(data))
@@ -157,40 +213,109 @@ func (c *TCPConn) SendToAddr(addr string, data []byte) error {
 	}
 	c.mu.Unlock()
 
-	peer.mu.Lock()
-	defer peer.mu.Unlock()
-	if err := peer.writeLocked(addr, data); err != nil {
-		// One reconnect attempt: the peer may have restarted.
-		peer.resetLocked()
-		if err := peer.writeLocked(addr, data); err != nil {
-			return err
+	var lastErr error
+	for attempt := 0; attempt < c.opts.Attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleepBackoff(attempt); err != nil {
+				return err
+			}
 		}
-	}
-	return nil
-}
-
-func (p *tcpPeer) resetLocked() {
-	if p.conn != nil {
-		p.conn.Close()
-		p.conn = nil
-	}
-}
-
-func (p *tcpPeer) writeLocked(addr string, data []byte) error {
-	if p.conn == nil {
-		conn, err := net.DialTimeout("tcp", addr, tcpDialTimeout)
+		conn, err := c.peerConn(peer, addr)
 		if err != nil {
-			return fmt.Errorf("transport: dial tcp %s: %w", addr, err)
+			lastErr = err
+			continue
 		}
-		p.conn = conn
+		if err := c.writeFrame(peer, conn, addr, data); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// sleepBackoff waits the exponential backoff before the given attempt
+// (1-based for the first retry), aborting when the endpoint closes.
+func (c *TCPConn) sleepBackoff(attempt int) error {
+	d := c.opts.Backoff << (attempt - 1)
+	if d > c.opts.MaxBackoff || d <= 0 {
+		d = c.opts.MaxBackoff
+	}
+	// Up to 50% jitter decorrelates retry storms across senders.
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.done:
+		return ErrClosed
+	case <-t.C:
+		return nil
+	}
+}
+
+// peerConn returns the pooled connection to addr, dialing one if none is
+// cached. The dial happens outside the peer's write lock so a peer stuck
+// in connection establishment does not wedge senders already holding a
+// healthy connection, and outside the endpoint lock so one slow peer
+// never blocks traffic to others.
+func (c *TCPConn) peerConn(p *tcpPeer, addr string) (net.Conn, error) {
+	p.mu.Lock()
+	if p.conn != nil {
+		conn := p.conn
+		p.mu.Unlock()
+		return conn, nil
+	}
+	p.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial tcp %s: %w", addr, err)
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		conn.Close()
+		return nil, ErrClosed
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		// A concurrent sender won the dial race; use its connection.
+		conn.Close()
+		return p.conn, nil
+	}
+	p.conn = conn
+	return conn, nil
+}
+
+// writeFrame writes one length-prefixed message under the write deadline,
+// serialized per peer so frames never interleave. A failed or expired
+// write invalidates the pooled connection (the stream may hold a partial
+// frame) so the next attempt re-dials.
+func (c *TCPConn) writeFrame(p *tcpPeer, conn net.Conn, addr string, data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != conn {
+		// Another sender already invalidated this connection.
+		return fmt.Errorf("transport: connection to %s reset", addr)
+	}
+	fail := func(err error) error {
+		conn.Close()
+		p.conn = nil
+		return fmt.Errorf("transport: write to %s: %w", addr, err)
 	}
 	var lenBuf [4]byte
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
-	if _, err := p.conn.Write(lenBuf[:]); err != nil {
-		return fmt.Errorf("transport: write to %s: %w", addr, err)
+	conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+	// Two writes, not one writev: the prefix write gives a freshly-dead
+	// peer's RST a chance to arrive and fail the payload write, so stale
+	// pooled connections are detected within one frame on loopback.
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		return fail(err)
 	}
-	if _, err := p.conn.Write(data); err != nil {
-		return fmt.Errorf("transport: write to %s: %w", addr, err)
+	if _, err := conn.Write(data); err != nil {
+		return fail(err)
 	}
+	conn.SetWriteDeadline(time.Time{})
 	return nil
 }

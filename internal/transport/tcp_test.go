@@ -234,3 +234,111 @@ func BenchmarkTCPSend180KB(b *testing.B) {
 		<-done
 	}
 }
+
+// TestChaosTCPBlackholedPeerBounded proves the write-deadline guarantee:
+// a peer that accepts but never drains (a blackhole once socket buffers
+// fill) costs each send at most dial + write deadline (+ backoff when
+// retries are enabled), never an unbounded block.
+func TestChaosTCPBlackholedPeerBounded(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var held []net.Conn
+	var heldMu sync.Mutex
+	defer func() {
+		heldMu.Lock()
+		for _, c := range held {
+			c.Close()
+		}
+		heldMu.Unlock()
+	}()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			heldMu.Lock()
+			held = append(held, conn) // accept, never read
+			heldMu.Unlock()
+		}
+	}()
+
+	opts := TCPOptions{WriteTimeout: 200 * time.Millisecond, Attempts: 1}
+	a, err := ListenTCPOpts("127.0.0.1:0", func([]byte, net.Addr) {}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// 8 MB frames overrun loopback socket buffers within a few sends; the
+	// blocked write must fail by its deadline instead of wedging.
+	msg := make([]byte, 8<<20)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		start := time.Now()
+		err := a.SendToAddr(ln.Addr().String(), msg)
+		elapsed := time.Since(start)
+		if elapsed > opts.WriteTimeout+3*time.Second {
+			t.Fatalf("send took %v, far beyond the %v write deadline", elapsed, opts.WriteTimeout)
+		}
+		if err != nil {
+			return // deadline fired: bounded, detected
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sends to a blackholed peer kept succeeding")
+		}
+	}
+}
+
+// TestChaosTCPBackoffBudget verifies the bounded retry budget: an
+// unreachable peer fails after exactly Attempts dials with exponential
+// backoff between them, and Close aborts a sender stuck in backoff.
+func TestChaosTCPBackoffBudget(t *testing.T) {
+	opts := TCPOptions{
+		DialTimeout: 200 * time.Millisecond,
+		Attempts:    3,
+		Backoff:     40 * time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+	}
+	a, err := ListenTCPOpts("127.0.0.1:0", func([]byte, net.Addr) {}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Port 1 refuses instantly, so elapsed time is dominated by backoff:
+	// ≥ 40ms + 80ms between the three attempts, well under a second.
+	start := time.Now()
+	if err := a.SendToAddr("127.0.0.1:1", []byte("x")); err == nil {
+		t.Fatal("send to refused port succeeded")
+	}
+	elapsed := time.Since(start)
+	if elapsed < 100*time.Millisecond {
+		t.Errorf("3 attempts finished in %v; backoff not applied", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("3 attempts took %v; backoff unbounded", elapsed)
+	}
+
+	// A sender parked in backoff must abort when the endpoint closes.
+	slow, err := ListenTCPOpts("127.0.0.1:0", func([]byte, net.Addr) {}, TCPOptions{
+		DialTimeout: 100 * time.Millisecond, Attempts: 100, Backoff: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- slow.SendToAddr("127.0.0.1:1", []byte("x")) }()
+	time.Sleep(150 * time.Millisecond) // let it enter a backoff sleep
+	slow.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("aborted sender returned %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not abort a sender in backoff")
+	}
+}

@@ -52,6 +52,18 @@ func (s Step) String() string {
 	}
 }
 
+// ParseStep resolves a service name ("primary", "sift", ...) to its
+// step. The names match Step.String and the paper's figures; "done" is
+// not a service and does not parse.
+func ParseStep(name string) (Step, error) {
+	for s := StepPrimary; s < StepDone; s++ {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("wire: unknown service %q", name)
+}
+
 // Next returns the subsequent pipeline step. Next of StepDone is StepDone.
 func (s Step) Next() Step {
 	if s >= StepDone {

@@ -26,6 +26,7 @@
 package scatter
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"time"
@@ -39,6 +40,7 @@ import (
 	"github.com/edge-mar/scatter/internal/orchestrator"
 	"github.com/edge-mar/scatter/internal/testbed"
 	"github.com/edge-mar/scatter/internal/trace"
+	"github.com/edge-mar/scatter/internal/transport"
 	"github.com/edge-mar/scatter/internal/wire"
 )
 
@@ -160,6 +162,69 @@ func NewStaticRouter(hops map[Step][]string) *StaticRouter { return agent.NewSta
 // RPCStateFetcher connects matching to a remote sift's state store.
 func RPCStateFetcher(addr string, timeout time.Duration) core.StateFetcher {
 	return agent.RPCStateFetcher(addr, timeout)
+}
+
+// RPCStateFetcherContext is RPCStateFetcher with a caller-owned context:
+// in-flight fetches abort when ctx is cancelled, not just on the per-call
+// timeout.
+func RPCStateFetcherContext(ctx context.Context, addr string, timeout time.Duration) core.StateFetcher {
+	return agent.RPCStateFetcherContext(ctx, addr, timeout)
+}
+
+// ParseStep resolves a service name ("primary", "sift", ...) to its Step.
+func ParseStep(name string) (Step, error) { return wire.ParseStep(name) }
+
+// Fault injection and failure handling.
+type (
+	// Endpoint is a message transport (UDP or framed TCP).
+	Endpoint = transport.Endpoint
+	// FaultPolicy describes injected failures (drops, compounding
+	// per-fragment loss, delay, jitter, duplication) on a link.
+	FaultPolicy = transport.FaultPolicy
+	// FaultyEndpoint wraps an Endpoint and injects a FaultPolicy per
+	// destination peer, with togglable partitions — the real-socket
+	// counterpart of the simulator's netem links.
+	FaultyEndpoint = transport.FaultyEndpoint
+	// FaultStats count injected failures.
+	FaultStats = transport.FaultStats
+	// TCPOptions tune the framed TCP endpoint's failure behaviour
+	// (write deadlines, dial timeout, retry budget).
+	TCPOptions = transport.TCPOptions
+	// Deployer bridges orchestrator scheduling hooks to live workers and
+	// keeps a StaticRouter in sync with the placement, so failure-driven
+	// migrations reroute frames.
+	Deployer = agent.Deployer
+	// DeployerConfig configures a Deployer.
+	DeployerConfig = agent.DeployerConfig
+	// OrchestratorHooks notify the runtime about instance lifecycle
+	// transitions.
+	OrchestratorHooks = orchestrator.Hooks
+	// Instance is one scheduled replica of a microservice.
+	Instance = orchestrator.Instance
+)
+
+// NewFaultyEndpoint wraps inner with a default fault policy; seed fixes
+// the injected fault pattern for reproducible chaos runs.
+func NewFaultyEndpoint(inner Endpoint, def FaultPolicy, seed int64) *FaultyEndpoint {
+	return transport.NewFaultyEndpoint(inner, def, seed)
+}
+
+// FaultPolicyFromLink converts a simulator link profile (e.g.
+// LinkCloudWAN) into the equivalent real-socket fault policy.
+func FaultPolicyFromLink(cfg LinkConfig) FaultPolicy { return transport.PolicyFromLink(cfg) }
+
+// NewDeployer creates the orchestrator-to-runtime bridge.
+func NewDeployer(cfg DeployerConfig) (*Deployer, error) { return agent.NewDeployer(cfg) }
+
+// WithOrchestratorHooks installs lifecycle hooks on a root orchestrator
+// (pass a Deployer's Hooks() to run real workers under orchestration).
+func WithOrchestratorHooks(h OrchestratorHooks) orchestrator.Option {
+	return orchestrator.WithHooks(h)
+}
+
+// WithHeartbeatTimeout overrides the root's failure-detection window.
+func WithHeartbeatTimeout(d time.Duration) orchestrator.Option {
+	return orchestrator.WithHeartbeatTimeout(d)
 }
 
 // Observability: per-frame spans, live metrics registry, exposition.
