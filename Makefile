@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz figures examples chaos clean
+.PHONY: all build vet test race cover bench bench-vision fuzz figures examples chaos clean
 
 all: build test
 
@@ -14,10 +14,11 @@ vet:
 	$(GO) vet ./...
 
 # The concurrent layers (live registry, span recorder, runtime workers,
-# fault-injection transport) always get a race pass.
+# fault-injection transport, parallel vision kernels) always get a race
+# pass.
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/agent ./internal/transport ./internal/netem
+	$(GO) test -race ./internal/obs ./internal/agent ./internal/transport ./internal/netem ./internal/vision/...
 
 race:
 	$(GO) test -race ./...
@@ -32,6 +33,13 @@ figures:
 # One benchmark per paper figure + micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Smoke-runs every vision kernel benchmark once at 1, 4, and 8 cores.
+# Worker pools size themselves from GOMAXPROCS, so each -cpu row measures
+# the pool at that width; see EXPERIMENTS.md for the full scaling recipe.
+bench-vision:
+	$(GO) test -run '^$$' -bench Vision -benchtime=1x -cpu 1,4,8 .
+	$(GO) test -run '^$$' -bench . -benchtime=1x -cpu 1,4,8 ./internal/vision/...
 
 # Short fuzzing passes over the wire/payload decoders.
 fuzz:

@@ -83,6 +83,14 @@ func (c MachineConfig) Validate() error {
 // DESIGN.md §5: E2's A40s are ≈20% faster than E1's RTX 2080s; the cloud
 // V100 runs containers not compiled for its sm architecture, costing ≈35%
 // plus virtualization noise.
+//
+// CPUFactor additionally folds in how well the vision kernels scale with
+// core count on each machine: the parallel kernels (DESIGN.md "Parallel
+// vision kernels") are measured with BenchmarkVisionFrame at -cpu
+// 1,4,8 (EXPERIMENTS.md scaling recipe), and the per-architecture
+// factor is the ratio of the machine's per-frame wall time to E1's at
+// the machine's core count. Re-derive the factors from that table when
+// the kernels change.
 
 // E1 is the local edge server.
 func E1() MachineConfig {

@@ -12,7 +12,23 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"github.com/edge-mar/scatter/internal/vision/parallel"
 )
+
+// emGrain and encodeGrain are the fixed per-chunk sample counts for the
+// parallel EM E-step and Encode accumulation. Chunk boundaries depend only
+// on the input size, so per-chunk partial sums merged in chunk order are
+// bit-identical at any worker count (floating-point addition is not
+// associative, so the merge order — not just the math — is part of the
+// determinism contract).
+const (
+	emGrain     = 64
+	encodeGrain = 32
+)
+
+// scratch pools reused across EM iterations and Encode calls.
+var f64Pool parallel.SlicePool[float64]
 
 // ErrBadInput is returned by TrainGMM for degenerate training input.
 var ErrBadInput = errors.New("fisher: bad input")
@@ -30,8 +46,16 @@ type GMM struct {
 const varFloor = 1e-4
 
 // TrainGMM fits a k-component diagonal GMM to data using EM, initialized
-// with a k-means++-style seeding from the given deterministic seed.
+// with a k-means++-style seeding from the given deterministic seed. The
+// E-step is sharded across the worker pool; results are bit-identical to
+// the serial path for any GOMAXPROCS.
 func TrainGMM(data [][]float32, k, iters int, seed int64) (*GMM, error) {
+	return trainGMM(data, k, iters, seed, 0)
+}
+
+// trainGMM is TrainGMM with an explicit worker count (0 = GOMAXPROCS,
+// 1 = serial) — the knob the parallel-vs-serial equivalence tests use.
+func trainGMM(data [][]float32, k, iters int, seed int64, workers int) (*GMM, error) {
 	n := len(data)
 	if n == 0 {
 		return nil, fmt.Errorf("%w: no samples", ErrBadInput)
@@ -60,17 +84,24 @@ func TrainGMM(data [][]float32, k, iters int, seed int64) (*GMM, error) {
 	g.Means[0] = toF64(data[first])
 	d2 := make([]float64, n)
 	for c := 1; c < k; c++ {
-		var sum float64
-		for i, row := range data {
-			best := math.Inf(1)
-			for cc := 0; cc < c; cc++ {
-				d := sqDist(row, g.Means[cc])
-				if d < best {
-					best = d
+		// Each d2[i] is independent and exact, so the scan parallelizes
+		// without affecting determinism; the weighted pick below sums d2
+		// serially in index order.
+		parallel.For(workers, n, emGrain, func(_, start, end int) {
+			for i := start; i < end; i++ {
+				best := math.Inf(1)
+				for cc := 0; cc < c; cc++ {
+					d := sqDist(data[i], g.Means[cc])
+					if d < best {
+						best = d
+					}
 				}
+				d2[i] = best
 			}
-			d2[i] = best
-			sum += best
+		})
+		var sum float64
+		for _, d := range d2 {
+			sum += d
 		}
 		var pick int
 		if sum == 0 {
@@ -114,8 +145,9 @@ func TrainGMM(data [][]float32, k, iters int, seed int64) (*GMM, error) {
 		g.Vars[c] = append([]float64(nil), globalVar...)
 	}
 
-	// EM iterations.
-	resp := make([]float64, k)
+	// EM iterations. The E-step shards samples across the pool; each chunk
+	// accumulates into a pooled flat buffer laid out as
+	// [nk (k) | sum (k×dim) | sumSq (k×dim)], merged in chunk order.
 	nk := make([]float64, k)
 	sum := make([][]float64, k)
 	sumSq := make([][]float64, k)
@@ -123,6 +155,8 @@ func TrainGMM(data [][]float32, k, iters int, seed int64) (*GMM, error) {
 		sum[c] = make([]float64, dim)
 		sumSq[c] = make([]float64, dim)
 	}
+	accLen := k + 2*k*dim
+	parts := make([][]float64, parallel.Chunks(n, emGrain))
 	for it := 0; it < iters; it++ {
 		for c := 0; c < k; c++ {
 			nk[c] = 0
@@ -131,21 +165,41 @@ func TrainGMM(data [][]float32, k, iters int, seed int64) (*GMM, error) {
 				sumSq[c][j] = 0
 			}
 		}
-		for _, row := range data {
-			g.posteriorsInto(row, resp)
-			for c := 0; c < k; c++ {
-				r := resp[c]
-				if r == 0 {
-					continue
-				}
-				nk[c] += r
-				sc, sq := sum[c], sumSq[c]
-				for j, v := range row {
-					x := float64(v)
-					sc[j] += r * x
-					sq[j] += r * x * x
+		parallel.For(workers, n, emGrain, func(chunk, start, end int) {
+			acc := f64Pool.Get(accLen)
+			resp := f64Pool.Get(k)
+			for i := start; i < end; i++ {
+				row := data[i]
+				g.posteriorsInto(row, resp)
+				for c := 0; c < k; c++ {
+					r := resp[c]
+					if r == 0 {
+						continue
+					}
+					acc[c] += r
+					sc := acc[k+c*dim : k+(c+1)*dim]
+					sq := acc[k+k*dim+c*dim : k+k*dim+(c+1)*dim]
+					for j, v := range row {
+						x := float64(v)
+						sc[j] += r * x
+						sq[j] += r * x * x
+					}
 				}
 			}
+			f64Pool.Put(resp)
+			parts[chunk] = acc
+		})
+		for _, acc := range parts {
+			for c := 0; c < k; c++ {
+				nk[c] += acc[c]
+				sc := acc[k+c*dim : k+(c+1)*dim]
+				sq := acc[k+k*dim+c*dim : k+k*dim+(c+1)*dim]
+				for j := 0; j < dim; j++ {
+					sum[c][j] += sc[j]
+					sumSq[c][j] += sq[j]
+				}
+			}
+			f64Pool.Put(acc)
 		}
 		for c := 0; c < k; c++ {
 			if nk[c] < 1e-10 {
@@ -278,9 +332,14 @@ func (g *GMM) LogLikelihood(data [][]float32) float64 {
 	return total / float64(len(data))
 }
 
-// Encoder aggregates descriptor sets into Fisher vectors.
+// Encoder aggregates descriptor sets into Fisher vectors. It is safe for
+// concurrent use.
 type Encoder struct {
 	gmm *GMM
+	// Workers bounds the worker pool sharding descriptors during Encode.
+	// Zero uses GOMAXPROCS; one forces the serial path. The encoding is
+	// bit-identical at any setting.
+	Workers int
 }
 
 // NewEncoder returns an Encoder over the fitted mixture model.
@@ -305,27 +364,45 @@ func (e *Encoder) Encode(descs [][]float32) []float32 {
 	if len(descs) == 0 {
 		return make([]float32, len(fv))
 	}
-	resp := make([]float64, g.K)
 	for _, x := range descs {
 		if len(x) != g.Dim {
 			panic(fmt.Sprintf("fisher: descriptor dim %d, want %d", len(x), g.Dim))
 		}
-		g.posteriorsInto(x, resp)
-		for c := 0; c < g.K; c++ {
-			r := resp[c]
-			if r < 1e-12 {
-				continue
-			}
-			mean, vars := g.Means[c], g.Vars[c]
-			muOff := c * g.Dim
-			sigOff := (g.K + c) * g.Dim
-			for j, v := range x {
-				sd := math.Sqrt(vars[j])
-				u := (float64(v) - mean[j]) / sd
-				fv[muOff+j] += r * u
-				fv[sigOff+j] += r * (u*u - 1)
+	}
+	// Shard descriptors across the pool: each chunk accumulates gradients
+	// into a pooled partial vector, merged in chunk order so the result is
+	// bit-identical regardless of worker count.
+	parts := make([][]float64, parallel.Chunks(len(descs), encodeGrain))
+	parallel.For(e.Workers, len(descs), encodeGrain, func(chunk, start, end int) {
+		part := f64Pool.Get(len(fv))
+		resp := f64Pool.Get(g.K)
+		for i := start; i < end; i++ {
+			x := descs[i]
+			g.posteriorsInto(x, resp)
+			for c := 0; c < g.K; c++ {
+				r := resp[c]
+				if r < 1e-12 {
+					continue
+				}
+				mean, vars := g.Means[c], g.Vars[c]
+				muOff := c * g.Dim
+				sigOff := (g.K + c) * g.Dim
+				for j, v := range x {
+					sd := math.Sqrt(vars[j])
+					u := (float64(v) - mean[j]) / sd
+					part[muOff+j] += r * u
+					part[sigOff+j] += r * (u*u - 1)
+				}
 			}
 		}
+		f64Pool.Put(resp)
+		parts[chunk] = part
+	})
+	for _, part := range parts {
+		for i, v := range part {
+			fv[i] += v
+		}
+		f64Pool.Put(part)
 	}
 	// Fisher information normalization.
 	nInv := 1 / float64(len(descs))

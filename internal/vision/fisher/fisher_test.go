@@ -277,6 +277,59 @@ func TestEncodeNormProperty(t *testing.T) {
 	}
 }
 
+// Parallel kernel contract: Encode is bit-identical for any worker count.
+func TestEncodeParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	data := twoClusters(rng, 300, 16)
+	g, err := TrainGMM(data, 8, 10, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := NewEncoder(g)
+	serial.Workers = 1
+	want := serial.Encode(data[:130])
+	for _, workers := range []int{2, 4, 8} {
+		e := NewEncoder(g)
+		e.Workers = workers
+		got := e.Encode(data[:130])
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: length %d, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: fv[%d] = %v, serial %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Parallel kernel contract: EM training is bit-identical for any worker
+// count (per-chunk accumulators merged in chunk order).
+func TestTrainGMMParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	data := twoClusters(rng, 257, 5)
+	want, err := trainGMM(data, 4, 12, 41, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := trainGMM(data, 4, 12, 41, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 4; c++ {
+			if got.Weights[c] != want.Weights[c] {
+				t.Fatalf("workers=%d: weight[%d] = %v, serial %v", workers, c, got.Weights[c], want.Weights[c])
+			}
+			for j := 0; j < 5; j++ {
+				if got.Means[c][j] != want.Means[c][j] || got.Vars[c][j] != want.Vars[c][j] {
+					t.Fatalf("workers=%d: component %d dim %d differs from serial", workers, c, j)
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkEncode64Descs(b *testing.B) {
 	rng := rand.New(rand.NewSource(21))
 	data := twoClusters(rng, 300, 32)
@@ -290,5 +343,36 @@ func BenchmarkEncode64Descs(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Encode(descs)
+	}
+}
+
+// BenchmarkEncode512Descs is the per-kernel scaling row at a realistic
+// per-frame descriptor count; compare with -cpu 1,4,8.
+func BenchmarkEncode512Descs(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	data := twoClusters(rng, 512, 32)
+	g, err := TrainGMM(data, 16, 10, 22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := NewEncoder(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Encode(data)
+	}
+}
+
+// BenchmarkTrainGMM is the EM-training scaling row; compare with
+// -cpu 1,4,8.
+func BenchmarkTrainGMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	data := twoClusters(rng, 600, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainGMM(data, 16, 5, 23); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

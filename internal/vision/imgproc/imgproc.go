@@ -10,7 +10,14 @@ package imgproc
 import (
 	"fmt"
 	"math"
+
+	"github.com/edge-mar/scatter/internal/vision/parallel"
 )
+
+// convGrain is the row granularity of the parallel separable convolution.
+// Every output pixel is an independent exact computation, so the fan-out
+// is bit-identical to the serial scan at any worker count.
+const convGrain = 16
 
 // Gray is a single-channel float32 image. Pixel (x, y) is stored at
 // Pix[y*W+x]. Values are nominally in [0, 1] but intermediate results
@@ -103,57 +110,71 @@ func GaussianKernel(sigma float64) []float32 {
 	return k
 }
 
-// convolveH convolves src horizontally with kernel k into dst. dst and src
-// must have identical dimensions and must not alias.
-func convolveH(dst, src *Gray, k []float32) {
+// convolveH convolves src horizontally with kernel k into dst, fanning
+// rows out across workers (0 = GOMAXPROCS, 1 = serial). dst and src must
+// have identical dimensions and must not alias.
+func convolveH(dst, src *Gray, k []float32, workers int) {
 	radius := len(k) / 2
-	for y := 0; y < src.H; y++ {
-		row := src.Pix[y*src.W : (y+1)*src.W]
-		for x := 0; x < src.W; x++ {
-			var acc float32
-			for i := -radius; i <= radius; i++ {
-				xx := x + i
-				if xx < 0 {
-					xx = 0
-				} else if xx >= src.W {
-					xx = src.W - 1
+	parallel.For(workers, src.H, convGrain, func(_, start, end int) {
+		for y := start; y < end; y++ {
+			row := src.Pix[y*src.W : (y+1)*src.W]
+			for x := 0; x < src.W; x++ {
+				var acc float32
+				for i := -radius; i <= radius; i++ {
+					xx := x + i
+					if xx < 0 {
+						xx = 0
+					} else if xx >= src.W {
+						xx = src.W - 1
+					}
+					acc += row[xx] * k[i+radius]
 				}
-				acc += row[xx] * k[i+radius]
+				dst.Pix[y*src.W+x] = acc
 			}
-			dst.Pix[y*src.W+x] = acc
 		}
-	}
+	})
 }
 
-// convolveV convolves src vertically with kernel k into dst. dst and src
-// must have identical dimensions and must not alias.
-func convolveV(dst, src *Gray, k []float32) {
+// convolveV convolves src vertically with kernel k into dst, fanning rows
+// out across workers. dst and src must have identical dimensions and must
+// not alias.
+func convolveV(dst, src *Gray, k []float32, workers int) {
 	radius := len(k) / 2
-	for y := 0; y < src.H; y++ {
-		for x := 0; x < src.W; x++ {
-			var acc float32
-			for i := -radius; i <= radius; i++ {
-				yy := y + i
-				if yy < 0 {
-					yy = 0
-				} else if yy >= src.H {
-					yy = src.H - 1
+	parallel.For(workers, src.H, convGrain, func(_, start, end int) {
+		for y := start; y < end; y++ {
+			for x := 0; x < src.W; x++ {
+				var acc float32
+				for i := -radius; i <= radius; i++ {
+					yy := y + i
+					if yy < 0 {
+						yy = 0
+					} else if yy >= src.H {
+						yy = src.H - 1
+					}
+					acc += src.Pix[yy*src.W+x] * k[i+radius]
 				}
-				acc += src.Pix[yy*src.W+x] * k[i+radius]
+				dst.Pix[y*src.W+x] = acc
 			}
-			dst.Pix[y*src.W+x] = acc
 		}
-	}
+	})
 }
 
 // GaussianBlur returns a new image blurred with a separable Gaussian of the
 // given sigma. The source image is not modified.
 func GaussianBlur(src *Gray, sigma float64) *Gray {
+	return GaussianBlurWorkers(src, sigma, 0)
+}
+
+// GaussianBlurWorkers is GaussianBlur with an explicit worker count for
+// the row-parallel convolution passes (0 = GOMAXPROCS, 1 = serial). The
+// result is bit-identical at any setting — each output pixel is computed
+// independently.
+func GaussianBlurWorkers(src *Gray, sigma float64, workers int) *Gray {
 	k := GaussianKernel(sigma)
 	tmp := NewGray(src.W, src.H)
 	dst := NewGray(src.W, src.H)
-	convolveH(tmp, src, k)
-	convolveV(dst, tmp, k)
+	convolveH(tmp, src, k, workers)
+	convolveV(dst, tmp, k, workers)
 	return dst
 }
 

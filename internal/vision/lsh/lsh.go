@@ -12,6 +12,8 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+
+	"github.com/edge-mar/scatter/internal/vision/parallel"
 )
 
 // Neighbor is a query result: a stored item and its distance to the query.
@@ -27,6 +29,11 @@ type Config struct {
 	Bits   int   // hyperplanes per table, <= 64 (default 16)
 	Probes int   // additional single-bit-flip probes per table (default 2)
 	Seed   int64 // RNG seed for hyperplanes (default 1)
+	// Workers bounds the worker pool for table construction, bulk
+	// hashing, and candidate ranking. Zero uses GOMAXPROCS; one forces
+	// the serial path. Hash tables and query results are identical at
+	// any setting.
+	Workers int
 }
 
 // Index is a multi-table random-hyperplane LSH index. It is safe for
@@ -63,24 +70,42 @@ func New(cfg Config) *Index {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	ix := &Index{
 		cfg:     cfg,
+		planes:  make([][][]float32, cfg.Tables),
+		tables:  make([]map[uint64][]int, cfg.Tables),
 		vectors: make(map[int][]float32),
 	}
-	for t := 0; t < cfg.Tables; t++ {
-		bits := make([][]float32, cfg.Bits)
-		for b := range bits {
-			plane := make([]float32, cfg.Dim)
-			for d := range plane {
-				plane[d] = float32(rng.NormFloat64())
+	// Each table draws its hyperplanes from its own rand.Rand seeded
+	// deterministically from the config seed, so construction can fan out
+	// across the pool and the planes of table t never depend on how many
+	// other tables exist, what order they are built in, or any other
+	// package's use of the global math/rand source.
+	parallel.For(cfg.Workers, cfg.Tables, 1, func(_, start, end int) {
+		for t := start; t < end; t++ {
+			rng := rand.New(rand.NewSource(tableSeed(cfg.Seed, t)))
+			bits := make([][]float32, cfg.Bits)
+			for b := range bits {
+				plane := make([]float32, cfg.Dim)
+				for d := range plane {
+					plane[d] = float32(rng.NormFloat64())
+				}
+				bits[b] = plane
 			}
-			bits[b] = plane
+			ix.planes[t] = bits
+			ix.tables[t] = make(map[uint64][]int)
 		}
-		ix.planes = append(ix.planes, bits)
-		ix.tables = append(ix.tables, make(map[uint64][]int))
-	}
+	})
 	return ix
+}
+
+// tableSeed derives an independent per-table seed from the index seed via
+// a splitmix64 step, keeping per-table RNG streams decorrelated.
+func tableSeed(seed int64, table int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(table+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // Len returns the number of stored items.
@@ -112,22 +137,45 @@ func (ix *Index) checkDim(v []float32) {
 	}
 }
 
+// keyPool recycles per-call bucket-key buffers (one key per table).
+var keyPool parallel.SlicePool[uint64]
+
+// hashAll computes the bucket key of v in every table into keys (length
+// Tables). Hashing reads only the immutable hyperplanes, so it runs
+// outside the index lock; it fans out across tables only when the total
+// multiply-add count is large enough to amortize the handoff (a full
+// hash below the cutoff costs on the order of the fan-out itself).
+func (ix *Index) hashAll(v []float32, keys []uint64) {
+	workers := ix.cfg.Workers
+	if ix.cfg.Tables*ix.cfg.Bits*ix.cfg.Dim < 1<<17 {
+		workers = 1
+	}
+	parallel.For(workers, ix.cfg.Tables, 1, func(_, start, end int) {
+		for t := start; t < end; t++ {
+			keys[t] = ix.Hash(t, v)
+		}
+	})
+}
+
 // Add stores vector v under id, replacing any previous vector with the
-// same id. The vector is copied.
+// same id. The vector is copied. Per-table hashing happens outside the
+// write lock, on the worker pool for high-dimensional indexes.
 func (ix *Index) Add(id int, v []float32) {
 	ix.checkDim(v)
 	cp := append([]float32(nil), v...)
+	keys := keyPool.Get(ix.cfg.Tables)
+	ix.hashAll(cp, keys)
 
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	if old, ok := ix.vectors[id]; ok {
 		ix.removeLocked(id, old)
 	}
 	ix.vectors[id] = cp
 	for t := range ix.tables {
-		key := ix.Hash(t, cp)
-		ix.tables[t][key] = append(ix.tables[t][key], id)
+		ix.tables[t][keys[t]] = append(ix.tables[t][keys[t]], id)
 	}
+	ix.mu.Unlock()
+	keyPool.Put(keys)
 }
 
 // Remove deletes id from the index. Removing an absent id is a no-op.
@@ -141,8 +189,11 @@ func (ix *Index) Remove(id int) {
 }
 
 func (ix *Index) removeLocked(id int, v []float32) {
+	keys := keyPool.Get(ix.cfg.Tables)
+	ix.hashAll(v, keys)
+	defer keyPool.Put(keys)
 	for t := range ix.tables {
-		key := ix.Hash(t, v)
+		key := keys[t]
 		bucket := ix.tables[t][key]
 		for i, bid := range bucket {
 			if bid == id {
@@ -172,34 +223,24 @@ func CosineDistance(a, b []float32) float64 {
 	return 1 - dot/math.Sqrt(na*nb)
 }
 
-// Query returns up to k approximate nearest neighbours of v, ranked by
-// exact cosine distance over the union of candidate buckets across all
-// tables (plus multi-probe buckets differing by one bit).
-func (ix *Index) Query(v []float32, k int) []Neighbor {
-	ix.checkDim(v)
-	if k <= 0 {
-		return nil
-	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+// rankGrain is the candidate granularity of parallel distance ranking.
+const rankGrain = 32
 
-	seen := make(map[int]struct{})
-	for t := range ix.tables {
-		key := ix.Hash(t, v)
-		for _, id := range ix.tables[t][key] {
-			seen[id] = struct{}{}
+// rankLocked fills Dist for every candidate neighbor. Each distance is an
+// independent exact computation, so the fan-out cannot change results.
+// Callers must hold at least a read lock (workers read ix.vectors).
+func (ix *Index) rankLocked(v []float32, neighbors []Neighbor) {
+	parallel.For(ix.cfg.Workers, len(neighbors), rankGrain, func(_, start, end int) {
+		for i := start; i < end; i++ {
+			neighbors[i].Dist = CosineDistance(v, ix.vectors[neighbors[i].ID])
 		}
-		for p := 0; p < ix.cfg.Probes && p < ix.cfg.Bits; p++ {
-			probe := key ^ (1 << uint(p))
-			for _, id := range ix.tables[t][probe] {
-				seen[id] = struct{}{}
-			}
-		}
-	}
-	neighbors := make([]Neighbor, 0, len(seen))
-	for id := range seen {
-		neighbors = append(neighbors, Neighbor{ID: id, Dist: CosineDistance(v, ix.vectors[id])})
-	}
+	})
+}
+
+// sortAndTrim orders neighbors by (distance, id) — a total order, so the
+// result is deterministic regardless of candidate collection order — and
+// truncates to k.
+func sortAndTrim(neighbors []Neighbor, k int) []Neighbor {
 	sort.Slice(neighbors, func(i, j int) bool {
 		if neighbors[i].Dist != neighbors[j].Dist {
 			return neighbors[i].Dist < neighbors[j].Dist
@@ -212,27 +253,56 @@ func (ix *Index) Query(v []float32, k int) []Neighbor {
 	return neighbors
 }
 
+// Query returns up to k approximate nearest neighbours of v, ranked by
+// exact cosine distance over the union of candidate buckets across all
+// tables (plus multi-probe buckets differing by one bit). Per-table
+// hashing and candidate ranking run on the worker pool.
+func (ix *Index) Query(v []float32, k int) []Neighbor {
+	ix.checkDim(v)
+	if k <= 0 {
+		return nil
+	}
+	keys := keyPool.Get(ix.cfg.Tables)
+	ix.hashAll(v, keys)
+
+	ix.mu.RLock()
+	seen := make(map[int]struct{})
+	for t := range ix.tables {
+		key := keys[t]
+		for _, id := range ix.tables[t][key] {
+			seen[id] = struct{}{}
+		}
+		for p := 0; p < ix.cfg.Probes && p < ix.cfg.Bits; p++ {
+			probe := key ^ (1 << uint(p))
+			for _, id := range ix.tables[t][probe] {
+				seen[id] = struct{}{}
+			}
+		}
+	}
+	neighbors := make([]Neighbor, 0, len(seen))
+	for id := range seen {
+		neighbors = append(neighbors, Neighbor{ID: id})
+	}
+	ix.rankLocked(v, neighbors)
+	ix.mu.RUnlock()
+	keyPool.Put(keys)
+	return sortAndTrim(neighbors, k)
+}
+
 // ExactNN returns the true k nearest neighbours by brute force — the
-// accuracy baseline LSH recall is measured against.
+// accuracy baseline LSH recall is measured against. The distance scan is
+// row-parallel.
 func (ix *Index) ExactNN(v []float32, k int) []Neighbor {
 	ix.checkDim(v)
 	if k <= 0 {
 		return nil
 	}
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
 	neighbors := make([]Neighbor, 0, len(ix.vectors))
-	for id, stored := range ix.vectors {
-		neighbors = append(neighbors, Neighbor{ID: id, Dist: CosineDistance(v, stored)})
+	for id := range ix.vectors {
+		neighbors = append(neighbors, Neighbor{ID: id})
 	}
-	sort.Slice(neighbors, func(i, j int) bool {
-		if neighbors[i].Dist != neighbors[j].Dist {
-			return neighbors[i].Dist < neighbors[j].Dist
-		}
-		return neighbors[i].ID < neighbors[j].ID
-	})
-	if len(neighbors) > k {
-		neighbors = neighbors[:k]
-	}
-	return neighbors
+	ix.rankLocked(v, neighbors)
+	ix.mu.RUnlock()
+	return sortAndTrim(neighbors, k)
 }

@@ -267,6 +267,112 @@ func TestQueryInvariantsProperty(t *testing.T) {
 	}
 }
 
+// Regression test for hyperplane seeding: the same seed must produce
+// identical hash tables on every construction, at any worker count, and
+// independently of any other package's RNG draws. (The hyperplanes used to
+// come from one sequential RNG stream; per-table streams seeded from the
+// config make construction parallel-safe and reproducible.)
+func TestSameSeedIdenticalTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	vecs := make([][]float32, 40)
+	for i := range vecs {
+		vecs[i] = randomUnit(rng, 24)
+	}
+	build := func(workers int) *Index {
+		ix := New(Config{Dim: 24, Tables: 6, Bits: 12, Seed: 77, Workers: workers})
+		for i, v := range vecs {
+			ix.Add(i, v)
+		}
+		return ix
+	}
+	ref := build(1)
+	// Interleave draws from the global source to prove independence.
+	rand.Int63()
+	for _, workers := range []int{1, 4, 8} {
+		ix := build(workers)
+		for ti := range ref.planes {
+			for bi := range ref.planes[ti] {
+				for d := range ref.planes[ti][bi] {
+					if ix.planes[ti][bi][d] != ref.planes[ti][bi][d] {
+						t.Fatalf("workers=%d: plane [%d][%d][%d] differs", workers, ti, bi, d)
+					}
+				}
+			}
+		}
+		for ti := range ref.tables {
+			if len(ix.tables[ti]) != len(ref.tables[ti]) {
+				t.Fatalf("workers=%d: table %d has %d buckets, want %d",
+					workers, ti, len(ix.tables[ti]), len(ref.tables[ti]))
+			}
+			for key, bucket := range ref.tables[ti] {
+				got := ix.tables[ti][key]
+				if len(got) != len(bucket) {
+					t.Fatalf("workers=%d: bucket %d/%x size %d, want %d",
+						workers, ti, key, len(got), len(bucket))
+				}
+				for i := range bucket {
+					if got[i] != bucket[i] {
+						t.Fatalf("workers=%d: bucket %d/%x differs at %d", workers, ti, key, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Parallel kernel contract: Query and ExactNN return identical rankings at
+// any worker count.
+func TestQueryParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	// Tables*Bits*Dim above the serial-hash cutoff so the parallel path runs.
+	mk := func(workers int) *Index {
+		return New(Config{Dim: 1024, Tables: 8, Bits: 16, Seed: 21, Workers: workers})
+	}
+	serial := mk(1)
+	wide := mk(8)
+	for i := 0; i < 200; i++ {
+		v := randomUnit(rng, 1024)
+		serial.Add(i, v)
+		wide.Add(i, v)
+	}
+	for q := 0; q < 20; q++ {
+		v := randomUnit(rng, 1024)
+		a, b := serial.Query(v, 7), wide.Query(v, 7)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d results", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("query %d result %d: %+v vs %+v", q, i, a[i], b[i])
+			}
+		}
+		ea, eb := serial.ExactNN(v, 7), wide.ExactNN(v, 7)
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("exact %d result %d: %+v vs %+v", q, i, ea[i], eb[i])
+			}
+		}
+	}
+}
+
+// BenchmarkBuild500 measures bulk index construction (hashing dominates);
+// compare with -cpu 1,4,8.
+func BenchmarkBuild500(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	vecs := make([][]float32, 500)
+	for i := range vecs {
+		vecs[i] = randomUnit(rng, 512)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := New(Config{Dim: 512, Tables: 8, Bits: 16, Seed: 12})
+		for id, v := range vecs {
+			ix.Add(id, v)
+		}
+	}
+}
+
 func BenchmarkQuery1000(b *testing.B) {
 	rng := rand.New(rand.NewSource(11))
 	ix := New(Config{Dim: 64, Seed: 11})

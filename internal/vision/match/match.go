@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/rand"
 
+	"github.com/edge-mar/scatter/internal/vision/parallel"
 	"github.com/edge-mar/scatter/internal/vision/sift"
 )
 
@@ -19,33 +20,62 @@ type Match struct {
 	Dist     float64
 }
 
+// ratioGrain is the query-row granularity of the parallel brute-force
+// scan; fixed so chunk boundaries never depend on the worker count.
+const ratioGrain = 16
+
 // RatioTest matches each query descriptor to its nearest train descriptor,
 // keeping only matches whose nearest distance is below ratio × the
 // second-nearest distance (Lowe's ratio test). A typical ratio is 0.8.
+// The O(|query|×|train|) scan is row-parallel over query features; matches
+// are returned in query order, identical to the serial scan.
 func RatioTest(query, train []sift.Feature, ratio float64) []Match {
+	return ratioTest(query, train, ratio, 0)
+}
+
+// ratioTest is RatioTest with an explicit worker count (0 = GOMAXPROCS,
+// 1 = serial) — the knob the parallel-vs-serial equivalence tests use.
+func ratioTest(query, train []sift.Feature, ratio float64, workers int) []Match {
 	if ratio <= 0 || ratio >= 1 {
 		ratio = 0.8
 	}
-	var out []Match
-	for qi := range query {
-		best, second := math.Inf(1), math.Inf(1)
-		bestIdx := -1
-		for ti := range train {
-			d := sift.L2(&query[qi].Desc, &train[ti].Desc)
-			if d < best {
-				second = best
-				best = d
-				bestIdx = ti
-			} else if d < second {
-				second = d
+	// Fewer than two train features cannot support the ratio test: there
+	// is no second-nearest distance to compare against, so every match
+	// would be unverifiable. Return none rather than admitting them.
+	if len(train) < 2 {
+		return nil
+	}
+	parts := make([][]Match, parallel.Chunks(len(query), ratioGrain))
+	parallel.For(workers, len(query), ratioGrain, func(chunk, start, end int) {
+		var out []Match
+		for qi := start; qi < end; qi++ {
+			best, second := math.Inf(1), math.Inf(1)
+			bestIdx := -1
+			for ti := range train {
+				d := sift.L2(&query[qi].Desc, &train[ti].Desc)
+				if d < best {
+					second = best
+					best = d
+					bestIdx = ti
+				} else if d < second {
+					second = d
+				}
+			}
+			if bestIdx < 0 {
+				continue
+			}
+			// second == 0 means a duplicate train descriptor ties the
+			// best match exactly — ambiguous, so reject it (the old
+			// behavior admitted these bogus matches).
+			if second > 0 && best < ratio*second {
+				out = append(out, Match{QueryIdx: qi, TrainIdx: bestIdx, Dist: best})
 			}
 		}
-		if bestIdx < 0 {
-			continue
-		}
-		if second == 0 || best < ratio*second {
-			out = append(out, Match{QueryIdx: qi, TrainIdx: bestIdx, Dist: best})
-		}
+		parts[chunk] = out
+	})
+	var out []Match
+	for _, part := range parts {
+		out = append(out, part...)
 	}
 	return out
 }
@@ -121,7 +151,10 @@ func solveLinear(a [][]float64, b []float64) ([]float64, bool) {
 				pivot = r
 			}
 		}
-		if maxAbs < 1e-12 {
+		// The comparison is written so a NaN pivot (from NaN/Inf input
+		// coordinates) also reports singular instead of silently
+		// propagating NaN through back-substitution.
+		if !(maxAbs >= 1e-12) {
 			return nil, false
 		}
 		a[col], a[pivot] = a[pivot], a[col]
@@ -202,7 +235,24 @@ func homographyFromPairs(src, dst []Point) (Homography, error) {
 	}
 	tmp := hn.Mul(&tSrc)
 	h := tDstInv.Mul(&tmp)
+	// Near-collinear configurations can slip past the pivot threshold and
+	// produce enormous or non-finite entries; callers (RANSAC scoring)
+	// must never see such a model as a success.
+	if !h.isFinite() {
+		return Identity(), ErrDegenerate
+	}
 	return h, nil
+}
+
+// isFinite reports whether every entry of the homography is a finite
+// number.
+func (h *Homography) isFinite() bool {
+	for _, v := range h {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 // normalizePoints translates points to zero centroid and scales to mean

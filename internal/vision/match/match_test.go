@@ -101,6 +101,70 @@ func TestHomographyFromPairsDegenerate(t *testing.T) {
 	}
 }
 
+// Regression test: non-finite input coordinates (a point mapped to the
+// plane at infinity upstream) used to sail through solveLinear — NaN
+// defeats the `pivot < eps` singularity check — and come back as a NaN
+// homography that RANSAC would happily score.
+func TestHomographyFromPairsNaNInput(t *testing.T) {
+	src := []Point{{0, 0}, {100, 0}, {100, 80}, {0, 80}}
+	dst := []Point{{0, 0}, {100, 0}, {math.NaN(), math.NaN()}, {0, 80}}
+	if _, err := homographyFromPairs(src, dst); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("NaN input err = %v, want ErrDegenerate", err)
+	}
+	inf := []Point{{0, 0}, {100, 0}, {math.Inf(1), 80}, {0, 80}}
+	if _, err := homographyFromPairs(inf, src); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("Inf input err = %v, want ErrDegenerate", err)
+	}
+}
+
+// Regression test: three-of-four collinear points leave the DLT system
+// rank-deficient; the estimate must be reported degenerate (or at minimum
+// finite), never a silent NaN/Inf model.
+func TestHomographyFromPairsNearCollinear(t *testing.T) {
+	src := []Point{{0, 0}, {50, 50}, {100, 100}, {0, 80}}
+	dst := []Point{{0, 0}, {55, 55}, {110, 110}, {0, 90}}
+	h, err := homographyFromPairs(src, dst)
+	if err == nil && !h.isFinite() {
+		t.Fatalf("near-collinear estimate returned non-finite H = %+v with nil error", h)
+	}
+	// Exactly repeated points are rank-deficient outright.
+	rep := []Point{{0, 0}, {0, 0}, {100, 100}, {0, 80}}
+	if _, err := homographyFromPairs(rep, rep); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("repeated-point err = %v, want ErrDegenerate", err)
+	}
+}
+
+// RANSAC must skip degenerate/non-finite minimal samples and still recover
+// the model from the clean correspondences.
+func TestRANSACSkipsNaNCorrespondences(t *testing.T) {
+	truth := knownH()
+	rng := rand.New(rand.NewSource(35))
+	src := gridPoints(60, 640, 480, rng)
+	dst := applyAll(&truth, src)
+	for i := 0; i < 10; i++ {
+		dst[i] = Point{math.NaN(), math.NaN()}
+	}
+	res, err := EstimateHomographyRANSAC(src, dst, RANSACConfig{Seed: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.H.isFinite() {
+		t.Fatalf("RANSAC returned non-finite H = %+v", res.H)
+	}
+	for _, idx := range res.Inliers {
+		if idx < 10 {
+			t.Errorf("NaN correspondence %d accepted as inlier", idx)
+		}
+	}
+	for _, p := range []Point{{100, 100}, {500, 400}} {
+		want := truth.Apply(p)
+		got := res.H.Apply(p)
+		if math.Hypot(got.X-want.X, got.Y-want.Y) > 1.0 {
+			t.Errorf("H maps %+v to %+v, want %+v", p, got, want)
+		}
+	}
+}
+
 func TestRANSACWithOutliers(t *testing.T) {
 	truth := knownH()
 	rng := rand.New(rand.NewSource(31))
@@ -216,6 +280,74 @@ func TestRatioTestEmpty(t *testing.T) {
 	}
 }
 
+// Regression test: degenerate train sets (<2 features, or duplicate
+// descriptors tying the two nearest neighbours) have no meaningful
+// second-nearest distance. The old code admitted such matches — with one
+// train feature every query "matched" it unconditionally.
+func TestRatioTestDegenerateTrainSets(t *testing.T) {
+	unit := func(axis int) sift.Feature {
+		var f sift.Feature
+		f.Desc[axis] = 1
+		return f
+	}
+	query := []sift.Feature{unit(0), unit(1)}
+	cases := []struct {
+		name  string
+		train []sift.Feature
+		want  int
+	}{
+		{"empty train", nil, 0},
+		{"single train feature", []sift.Feature{unit(0)}, 0},
+		{"duplicate train descriptors", []sift.Feature{unit(0), unit(0)}, 0},
+		// Only query unit(0) matches: unit(1) is equidistant from both
+		// train features and is rightly rejected as ambiguous.
+		{"two distinct train features", []sift.Feature{unit(0), unit(5)}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := RatioTest(query, tc.train, 0.8)
+			if len(got) != tc.want {
+				t.Errorf("%s: %d matches, want %d (%+v)", tc.name, len(got), tc.want, got)
+			}
+		})
+	}
+}
+
+// Parallel kernel contract: the row-parallel scan returns the same matches
+// in the same (query) order as the serial scan.
+func TestRatioTestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	mk := func(n int) []sift.Feature {
+		out := make([]sift.Feature, n)
+		for i := range out {
+			var norm float64
+			for j := range out[i].Desc {
+				v := rng.Float64()
+				out[i].Desc[j] = float32(v)
+				norm += v * v
+			}
+			norm = math.Sqrt(norm)
+			for j := range out[i].Desc {
+				out[i].Desc[j] = float32(float64(out[i].Desc[j]) / norm)
+			}
+		}
+		return out
+	}
+	query, train := mk(123), mk(97)
+	want := ratioTest(query, train, 0.85, 1)
+	for _, workers := range []int{2, 4, 8} {
+		got := ratioTest(query, train, 0.85, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d matches, serial %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: match %d = %+v, serial %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestProjectBox(t *testing.T) {
 	shift := Homography{1, 0, 10, 0, 1, 20, 0, 0, 1}
 	box := ProjectBox(&shift, 100, 50)
@@ -267,6 +399,27 @@ func TestSolveLinearKnown(t *testing.T) {
 	}
 	if !almostEqual(x[0], 1, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
 		t.Errorf("solution = %v, want [1 3]", x)
+	}
+}
+
+// BenchmarkRatioTest200x300 is the brute-force matching scaling row;
+// compare with -cpu 1,4,8.
+func BenchmarkRatioTest200x300(b *testing.B) {
+	rng := rand.New(rand.NewSource(36))
+	mk := func(n int) []sift.Feature {
+		out := make([]sift.Feature, n)
+		for i := range out {
+			for j := range out[i].Desc {
+				out[i].Desc[j] = rng.Float32()
+			}
+		}
+		return out
+	}
+	query, train := mk(200), mk(300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RatioTest(query, train, 0.8)
 	}
 }
 

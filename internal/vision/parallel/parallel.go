@@ -1,0 +1,126 @@
+// Package parallel is the shared worker-pool substrate for the vision
+// kernels (SIFT, Fisher encoding, LSH, matching). The paper's scAtteR
+// pipeline is compute-bound on these stages; this package lets each kernel
+// fan work out across cores while keeping a hard determinism contract:
+//
+//   - Work is split into grain-sized chunks whose boundaries depend only on
+//     the input size and the grain — never on the worker count. A kernel
+//     that computes chunk-local results and merges them in chunk order
+//     therefore produces bit-identical output at any worker count,
+//     including the serial (one-worker) fallback.
+//   - Each chunk owns a disjoint slice of the output; workers never share
+//     mutable state beyond the chunk dispenser.
+//   - Scratch buffers come from typed sync.Pool wrappers so steady-state
+//     per-frame work does not re-allocate accumulators.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the default worker-pool size: GOMAXPROCS, floored at 1.
+// Kernels use this when their configured worker count is zero, so `go test
+// -cpu 1,4,8` benchmark rows exercise the pool at each width.
+func Workers() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// Chunks returns the number of grain-sized chunks covering n items — the
+// length a caller's per-chunk result slice must have.
+func Chunks(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	return (n + grain - 1) / grain
+}
+
+// For partitions [0, n) into grain-sized chunks and invokes body once per
+// chunk as body(chunk, start, end). workers <= 0 uses Workers(); a worker
+// count of one (or a single chunk) runs serially in chunk order with no
+// goroutines. Chunk boundaries are a pure function of n and grain, so any
+// chunk-order merge of chunk-local results is bit-identical across worker
+// counts. body must only write state owned by its chunk.
+func For(workers, n, grain int, body func(chunk, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			start := c * grain
+			end := start + grain
+			if end > n {
+				end = n
+			}
+			body(c, start, end)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				start := c * grain
+				end := start + grain
+				if end > n {
+					end = n
+				}
+				body(c, start, end)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SlicePool recycles scratch slices across goroutines. Get returns a
+// zeroed slice of exactly the requested length, so pooled buffers are safe
+// to use as accumulators without an explicit clear at every call site.
+type SlicePool[T any] struct {
+	pool sync.Pool
+}
+
+// Get returns a zeroed slice of length n, reusing pooled capacity when a
+// large-enough buffer is available.
+func (sp *SlicePool[T]) Get(n int) []T {
+	if v, _ := sp.pool.Get().(*[]T); v != nil && cap(*v) >= n {
+		s := (*v)[:n]
+		var zero T
+		for i := range s {
+			s[i] = zero
+		}
+		return s
+	}
+	return make([]T, n)
+}
+
+// Put returns a slice to the pool. Empty slices are dropped.
+func (sp *SlicePool[T]) Put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	sp.pool.Put(&s)
+}

@@ -1,0 +1,160 @@
+package parallel
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// chunkBounds records every (chunk, start, end) triple For produces.
+func chunkBounds(workers, n, grain int) [][3]int {
+	var mu sync.Mutex
+	var out [][3]int
+	For(workers, n, grain, func(chunk, start, end int) {
+		mu.Lock()
+		out = append(out, [3]int{chunk, start, end})
+		mu.Unlock()
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, n := range []int{0, 1, 7, 64, 100} {
+			counts := make([]int, n)
+			var mu sync.Mutex
+			For(workers, n, 9, func(_, start, end int) {
+				mu.Lock()
+				for i := start; i < end; i++ {
+					counts[i]++
+				}
+				mu.Unlock()
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestChunkBoundariesIndependentOfWorkers(t *testing.T) {
+	for _, n := range []int{1, 10, 33, 257} {
+		serial := chunkBounds(1, n, 16)
+		wide := chunkBounds(8, n, 16)
+		if !reflect.DeepEqual(serial, wide) {
+			t.Fatalf("n=%d: chunk layout differs between 1 and 8 workers:\n%v\n%v", n, serial, wide)
+		}
+		if len(serial) != Chunks(n, 16) {
+			t.Fatalf("n=%d: Chunks=%d but For produced %d chunks", n, Chunks(n, 16), len(serial))
+		}
+	}
+}
+
+func TestForSerialRunsInOrder(t *testing.T) {
+	var seen []int
+	For(1, 50, 8, func(chunk, start, end int) {
+		seen = append(seen, chunk)
+	})
+	for i, c := range seen {
+		if c != i {
+			t.Fatalf("serial chunk order %v", seen)
+		}
+	}
+}
+
+// Per-chunk partial sums merged in chunk order must be bit-identical
+// regardless of worker count — the determinism contract every kernel
+// relies on.
+func TestChunkMergeDeterminism(t *testing.T) {
+	n := 1013
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 1.0 / float64(i+3)
+	}
+	sum := func(workers int) float64 {
+		parts := make([]float64, Chunks(n, 32))
+		For(workers, n, 32, func(chunk, start, end int) {
+			var s float64
+			for i := start; i < end; i++ {
+				s += data[i]
+			}
+			parts[chunk] = s
+		})
+		var total float64
+		for _, p := range parts {
+			total += p
+		}
+		return total
+	}
+	ref := sum(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := sum(w); got != ref {
+			t.Fatalf("workers=%d sum %v != serial %v", w, got, ref)
+		}
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}
+
+func TestChunksEdgeCases(t *testing.T) {
+	for _, tc := range []struct{ n, grain, want int }{
+		{0, 8, 0}, {-3, 8, 0}, {1, 8, 1}, {8, 8, 1}, {9, 8, 2}, {5, 0, 5},
+	} {
+		if got := Chunks(tc.n, tc.grain); got != tc.want {
+			t.Errorf("Chunks(%d, %d) = %d, want %d", tc.n, tc.grain, got, tc.want)
+		}
+	}
+}
+
+func TestSlicePoolZeroesReusedBuffers(t *testing.T) {
+	var pool SlicePool[float64]
+	b := pool.Get(16)
+	if len(b) != 16 {
+		t.Fatalf("Get(16) len = %d", len(b))
+	}
+	for i := range b {
+		b[i] = float64(i) + 1
+	}
+	pool.Put(b)
+	c := pool.Get(8)
+	if len(c) != 8 {
+		t.Fatalf("Get(8) len = %d", len(c))
+	}
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	pool.Put(nil) // must not panic
+}
+
+func TestSlicePoolConcurrent(t *testing.T) {
+	var pool SlicePool[int]
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := pool.Get(64)
+				for j := range s {
+					if s[j] != 0 {
+						t.Error("dirty pooled buffer")
+						return
+					}
+					s[j] = j
+				}
+				pool.Put(s)
+			}
+		}()
+	}
+	wg.Wait()
+}

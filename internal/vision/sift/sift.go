@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"github.com/edge-mar/scatter/internal/vision/imgproc"
+	"github.com/edge-mar/scatter/internal/vision/parallel"
 )
 
 // DescriptorSize is the dimensionality of a SIFT descriptor:
@@ -60,6 +61,10 @@ type Config struct {
 	// MaxFeatures caps the number of returned features, keeping the
 	// strongest by response. Zero means no cap.
 	MaxFeatures int
+	// Workers bounds the worker pool for the DoG extrema scan and
+	// per-keypoint descriptor computation. Zero uses GOMAXPROCS; one
+	// forces the serial path. Output is bit-identical at any setting.
+	Workers int
 }
 
 // Defaults returns the standard SIFT parameterization.
@@ -101,6 +106,9 @@ func New(cfg Config) *Detector {
 	if cfg.MaxFeatures > 0 {
 		d.MaxFeatures = cfg.MaxFeatures
 	}
+	if cfg.Workers > 0 {
+		d.Workers = cfg.Workers
+	}
 	return &Detector{cfg: d}
 }
 
@@ -135,15 +143,17 @@ func (d *Detector) buildPyramid(img *imgproc.Gray) *pyramid {
 	}
 
 	p := &pyramid{sigmas: sigmas}
-	base := imgproc.GaussianBlur(img, cfg.SigmaBase)
+	base := imgproc.GaussianBlurWorkers(img, cfg.SigmaBase, cfg.Workers)
 	for o := 0; o < octaves; o++ {
 		levels := make([]*imgproc.Gray, nLevels)
 		levels[0] = base
 		for i := 1; i < nLevels; i++ {
 			// Incremental blur: sigma needed to go from level i-1 to i.
+			// Levels chain sequentially, but each blur's convolution
+			// passes fan rows out across the pool.
 			sPrev, sCur := sigmas[i-1], sigmas[i]
 			inc := math.Sqrt(sCur*sCur - sPrev*sPrev)
-			levels[i] = imgproc.GaussianBlur(levels[i-1], inc)
+			levels[i] = imgproc.GaussianBlurWorkers(levels[i-1], inc, cfg.Workers)
 		}
 		dogs := make([]*imgproc.Gray, nLevels-1)
 		for i := 0; i < nLevels-1; i++ {
@@ -208,51 +218,114 @@ func edgeLike(img *imgproc.Gray, x, y int, edgeThreshold float64) bool {
 	return tr*tr/det >= (r+1)*(r+1)/r
 }
 
-// Detect finds SIFT features in img. The returned slice is ordered by
-// decreasing response strength.
-func (d *Detector) Detect(img *imgproc.Gray) []Feature {
-	p := d.buildPyramid(img)
+// candidate is a DoG extremum that survived the contrast and edge tests;
+// orientation assignment and description happen in a second phase.
+type candidate struct {
+	octave, level, x, y int
+	response            float64
+}
+
+// scanGrain is the row granularity of the parallel extrema scan;
+// describeGrain the keypoint granularity of descriptor computation.
+// Both are fixed so chunk boundaries — and therefore output order —
+// never depend on the worker count.
+const (
+	scanGrain     = 16
+	describeGrain = 4
+)
+
+// scanExtrema finds DoG extrema across the pyramid, parallelized over row
+// bands within each (octave, level). Per-chunk candidate lists are
+// concatenated in chunk order, so the result matches the serial
+// octave→level→row→column scan order exactly.
+func (d *Detector) scanExtrema(p *pyramid) []candidate {
 	cfg := d.cfg
-	var feats []Feature
+	var cands []candidate
 	for o := range p.dog {
 		dogs := p.dog[o]
-		scale := float64(int(1) << uint(o))
 		for l := 1; l < len(dogs)-1; l++ {
 			img := dogs[l]
-			for y := 1; y < img.H-1; y++ {
-				for x := 1; x < img.W-1; x++ {
-					v := img.At(x, y)
-					if math.Abs(float64(v)) < cfg.ContrastThreshold {
-						continue
-					}
-					if !isExtremum(dogs, l, x, y) {
-						continue
-					}
-					if edgeLike(img, x, y, cfg.EdgeThreshold) {
-						continue
-					}
-					sigma := p.sigmas[l]
-					grad := p.gauss[o][l]
-					for _, ori := range dominantOrientations(grad, x, y, sigma) {
-						kp := Keypoint{
-							X:           float64(x) * scale,
-							Y:           float64(y) * scale,
-							Sigma:       sigma * scale,
-							Orientation: ori,
-							Response:    math.Abs(float64(v)),
-							Octave:      o,
-							Level:       l,
+			rows := img.H - 2
+			if rows <= 0 {
+				continue
+			}
+			parts := make([][]candidate, parallel.Chunks(rows, scanGrain))
+			parallel.For(cfg.Workers, rows, scanGrain, func(chunk, start, end int) {
+				var out []candidate
+				for y := start + 1; y < end+1; y++ {
+					for x := 1; x < img.W-1; x++ {
+						v := img.At(x, y)
+						if math.Abs(float64(v)) < cfg.ContrastThreshold {
+							continue
 						}
-						desc := computeDescriptor(grad, x, y, sigma, ori)
-						feats = append(feats, Feature{Keypoint: kp, Desc: desc})
+						if !isExtremum(dogs, l, x, y) {
+							continue
+						}
+						if edgeLike(img, x, y, cfg.EdgeThreshold) {
+							continue
+						}
+						out = append(out, candidate{
+							octave: o, level: l, x: x, y: y,
+							response: math.Abs(float64(v)),
+						})
 					}
 				}
+				parts[chunk] = out
+			})
+			for _, part := range parts {
+				cands = append(cands, part...)
 			}
 		}
 	}
+	return cands
+}
+
+// describe assigns orientations and computes descriptors for each
+// candidate. Candidates are independent, so the pool fans them out with
+// each worker writing a disjoint result slot; flattening in candidate
+// order preserves the serial ordering.
+func (d *Detector) describe(p *pyramid, cands []candidate) []Feature {
+	perCand := make([][]Feature, len(cands))
+	parallel.For(d.cfg.Workers, len(cands), describeGrain, func(_, start, end int) {
+		for i := start; i < end; i++ {
+			c := cands[i]
+			sigma := p.sigmas[c.level]
+			grad := p.gauss[c.octave][c.level]
+			scale := float64(int(1) << uint(c.octave))
+			oris := dominantOrientations(grad, c.x, c.y, sigma)
+			feats := make([]Feature, 0, len(oris))
+			for _, ori := range oris {
+				kp := Keypoint{
+					X:           float64(c.x) * scale,
+					Y:           float64(c.y) * scale,
+					Sigma:       sigma * scale,
+					Orientation: ori,
+					Response:    c.response,
+					Octave:      c.octave,
+					Level:       c.level,
+				}
+				desc := computeDescriptor(grad, c.x, c.y, sigma, ori)
+				feats = append(feats, Feature{Keypoint: kp, Desc: desc})
+			}
+			perCand[i] = feats
+		}
+	})
+	var feats []Feature
+	for _, fs := range perCand {
+		feats = append(feats, fs...)
+	}
+	return feats
+}
+
+// Detect finds SIFT features in img. The returned slice is ordered by
+// decreasing response strength. Detection runs on the configured worker
+// pool; the output is bit-identical to the serial (Workers=1) path.
+func (d *Detector) Detect(img *imgproc.Gray) []Feature {
+	p := d.buildPyramid(img)
+	feats := d.describe(p, d.scanExtrema(p))
 	sort.Slice(feats, func(i, j int) bool { return feats[i].Response > feats[j].Response })
-	if cfg.MaxFeatures > 0 && len(feats) > cfg.MaxFeatures {
-		feats = feats[:cfg.MaxFeatures]
+	if d.cfg.MaxFeatures > 0 && len(feats) > d.cfg.MaxFeatures {
+		feats = feats[:d.cfg.MaxFeatures]
 	}
 	return feats
 }

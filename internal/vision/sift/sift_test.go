@@ -240,8 +240,46 @@ func TestTrilinearConservesWeight(t *testing.T) {
 	}
 }
 
+// The parallel kernel contract: any worker count produces bit-identical
+// features to the serial path, including keypoint order.
+func TestDetectParallelMatchesSerial(t *testing.T) {
+	img := testPattern(128, 128)
+	serialCfg := Defaults()
+	serialCfg.Workers = 1
+	serial := New(serialCfg).Detect(img)
+	if len(serial) == 0 {
+		t.Fatal("no features on textured image")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		cfg := Defaults()
+		cfg.Workers = workers
+		par := New(cfg).Detect(img)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d features, serial %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: feature %d differs from serial", workers, i)
+			}
+		}
+	}
+}
+
 func BenchmarkDetect96(b *testing.B) {
 	img := testPattern(96, 96)
+	d := New(Defaults())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Detect(img)
+	}
+}
+
+// BenchmarkDetect320x180 is the per-kernel scaling row for the frame size
+// the pipeline actually runs; compare with -cpu 1,4,8 (Workers defaults to
+// GOMAXPROCS, which -cpu sets per row).
+func BenchmarkDetect320x180(b *testing.B) {
+	img := testPattern(320, 180)
 	d := New(Defaults())
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -1,0 +1,104 @@
+package scatter
+
+// Vision-kernel benchmarks: the compute-bound hot paths the paper
+// accelerates with GPUs, reproduced here on the parallel CPU worker pools
+// (internal/vision/parallel). BenchmarkVisionFrame is the headline number —
+// one full sift→fisher→lsh→match recognition pass over a synthetic frame.
+// Run the scaling table with:
+//
+//	go test -run '^$' -bench VisionFrame -cpu 1,4,8 .
+//
+// Worker pools size themselves from GOMAXPROCS, so each -cpu row measures
+// the pool at that width. The kernels' determinism contract guarantees all
+// rows compute bit-identical results. The measured 1→8 core speedup
+// calibrates the per-architecture CPU speed factors in internal/testbed.
+
+import (
+	"testing"
+
+	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/trace"
+	"github.com/edge-mar/scatter/internal/vision/match"
+	"github.com/edge-mar/scatter/internal/vision/sift"
+)
+
+// newVisionFrameFixture trains a recognition model on the synthetic
+// clip's reference images and returns the pieces of the vision pipeline.
+func newVisionFrameFixture(b *testing.B) (*core.Model, *sift.Detector, *trace.Generator) {
+	b.Helper()
+	gen := trace.NewGenerator(trace.Config{W: 320, H: 180, FPS: 10, Seconds: 1, Seed: 7})
+	model, err := core.Train(gen.ReferenceImages(), core.TrainConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sift.Defaults()
+	cfg.MaxFeatures = 150
+	return model, sift.New(cfg), gen
+}
+
+// BenchmarkVisionFrame runs the full vision pipeline for one frame: SIFT
+// detection, PCA projection, Fisher encoding, LSH candidate lookup, and
+// ratio-test matching + RANSAC pose for each candidate object.
+func BenchmarkVisionFrame(b *testing.B) {
+	model, det, gen := newVisionFrameFixture(b)
+	frame := gen.GrayFrame(0)
+	byID := make(map[int]*core.ReferenceObject, len(model.Objects))
+	for _, obj := range model.Objects {
+		byID[int(obj.ID)] = obj
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feats := det.Detect(frame)
+		if len(feats) == 0 {
+			b.Fatal("no features detected")
+		}
+		descs := make([][]float32, len(feats))
+		for j := range feats {
+			descs[j] = model.PCA.Project(feats[j].Desc[:])
+		}
+		fv := model.Encoder.Encode(descs)
+		cands := model.Index.Query(fv, 2)
+		if len(cands) < 2 && model.Index.Len() >= 2 {
+			// Same top-up the LSH service applies when probes miss on a
+			// small reference set.
+			cands = model.Index.ExactNN(fv, 2)
+		}
+		if len(cands) == 0 {
+			b.Fatal("no LSH candidates")
+		}
+		for _, cand := range cands {
+			ref := byID[cand.ID]
+			matches := match.RatioTest(feats, ref.Features, 0.8)
+			if len(matches) < 4 {
+				continue
+			}
+			src := make([]match.Point, len(matches))
+			dst := make([]match.Point, len(matches))
+			for mi, m := range matches {
+				rf := ref.Features[m.TrainIdx]
+				qf := feats[m.QueryIdx]
+				src[mi] = match.Point{X: rf.X, Y: rf.Y}
+				dst[mi] = match.Point{X: qf.X, Y: qf.Y}
+			}
+			// Degenerate sets are expected for wrong candidates; the
+			// kernel cost is what is being measured.
+			_, _ = match.EstimateHomographyRANSAC(src, dst,
+				match.RANSACConfig{Iterations: 400, Threshold: 5, MinInliers: 5, Seed: 1})
+		}
+	}
+}
+
+// BenchmarkVisionDetectOnly isolates the SIFT stage of the same frame —
+// the largest single contributor to per-frame latency.
+func BenchmarkVisionDetectOnly(b *testing.B) {
+	_, det, gen := newVisionFrameFixture(b)
+	frame := gen.GrayFrame(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if feats := det.Detect(frame); len(feats) == 0 {
+			b.Fatal("no features detected")
+		}
+	}
+}
