@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-vision fuzz figures examples chaos clean
+.PHONY: all build vet test race cover bench bench-vision bench-dataplane fuzz figures examples chaos clean
 
 all: build test
 
@@ -15,10 +15,12 @@ vet:
 
 # The concurrent layers (live registry, span recorder, runtime workers,
 # fault-injection transport, parallel vision kernels) always get a race
-# pass.
+# pass. The 1-iteration bench smoke keeps the data-plane benchmarks
+# compiling and running without paying full measurement time.
 test:
 	$(GO) test ./...
 	$(GO) test -race ./internal/obs ./internal/agent ./internal/transport ./internal/netem ./internal/vision/...
+	$(GO) test -run '^$$' -bench 'WorkerHop|DataplaneEncode' -benchtime=1x ./internal/agent
 
 race:
 	$(GO) test -race ./...
@@ -33,6 +35,17 @@ figures:
 # One benchmark per paper figure + micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Data-plane allocation/throughput benchmarks (codec, transport send,
+# full worker hop) with -benchmem, exported to BENCH_dataplane.json so
+# regressions in allocs/op and B/op are visible run over run. The
+# allocation *budgets* are enforced as plain tests in `make test`
+# (internal/wire, internal/transport, internal/agent alloc_test.go);
+# this target records the trajectory.
+bench-dataplane:
+	$(GO) test -run '^$$' -bench 'WorkerHop|DataplaneEncode|Marshal|Unmarshal|Clone|Send180KB' -benchmem \
+		./internal/agent ./internal/wire ./internal/transport \
+		| $(GO) run ./cmd/benchjson -o BENCH_dataplane.json -note "make bench-dataplane"
 
 # Smoke-runs every vision kernel benchmark once at 1, 4, and 8 cores.
 # Worker pools size themselves from GOMAXPROCS, so each -cpu row measures

@@ -1,0 +1,105 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// machine-readable JSON snapshot, so the data-plane perf trajectory
+// (ns/op, B/op, allocs/op per benchmark) is tracked in version control
+// from one PR to the next (see `make bench-dataplane`).
+//
+// It reads benchmark output on stdin, echoes every line to stderr so the
+// run stays watchable, and writes JSON to -o (default stdout). Non-bench
+// lines (goos/goarch banners, PASS/ok) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is the JSON document emitted.
+type Snapshot struct {
+	Note       string   `json:"note"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	note := flag.String("note", "go test -bench -benchmem snapshot", "free-form provenance note")
+	flag.Parse()
+
+	snap := Snapshot{Note: *note}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		if r, ok := parseLine(line); ok {
+			snap.Benchmarks = append(snap.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkWorkerHop/udp/180KiB-8  842  1384671 ns/op  133.10 MB/s  742011 B/op  31 allocs/op
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iters: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			r.NsPerOp, err = strconv.ParseFloat(val, 64)
+			seen = seen || err == nil
+		case "MB/s":
+			r.MBPerSec, _ = strconv.ParseFloat(val, 64)
+		case "B/op":
+			r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	return r, seen
+}

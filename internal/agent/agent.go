@@ -188,7 +188,23 @@ type Worker struct {
 	droppedThreshold, errorsCount   atomic.Uint64
 	droppedShutdown, forwardRetries atomic.Uint64
 	queueMicros, procMicros         atomic.Uint64
+
+	// Steady-state pools (DESIGN.md "Buffer ownership & pooling"): every
+	// inbound frame decodes into a recycled envelope and every outbound
+	// frame encodes into recycled scratch, so the per-frame hot path
+	// allocates nothing once capacities warm up.
+	frames  wire.FramePool
+	encPool wire.BufPool
+
+	// clientAddrs caches the string form of client delivery addresses
+	// (netip.AddrPort.String allocates); bounded like the transport
+	// resolve cache.
+	clientAddrMu sync.RWMutex
+	clientAddrs  map[netip.AddrPort]string
 }
+
+// maxClientAddrCacheEntries bounds the delivery-address string cache.
+const maxClientAddrCacheEntries = 4096
 
 type queuedItem struct {
 	fr *wire.Frame
@@ -229,7 +245,11 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 			cfg.Host = "node"
 		}
 	}
-	w := &Worker{cfg: cfg, done: make(chan struct{})}
+	w := &Worker{
+		cfg:         cfg,
+		done:        make(chan struct{}),
+		clientAddrs: make(map[netip.AddrPort]string),
+	}
 	if cfg.Obs != nil {
 		w.live = cfg.Obs.Service(cfg.Step.String())
 	}
@@ -256,6 +276,12 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 			w.rpc.Close()
 		}
 		return nil, err
+	}
+	if uc, ok := conn.(*transport.Conn); ok {
+		// Surface reassembly-layer losses (timeout, table bounds,
+		// malformed geometry) as drop-outcome spans and live drop
+		// counts, so transport drops and worker drops tell one story.
+		uc.SetDropHook(w.onTransportDrop)
 	}
 	if cfg.WrapEndpoint != nil {
 		conn = cfg.WrapEndpoint(conn)
@@ -301,6 +327,7 @@ func (w *Worker) Close() error {
 					w.live.Dropped.Inc()
 				}
 				w.dropSpan(item.fr, obs.OutcomeShutdown, item.at, now, now)
+				w.frames.Put(item.fr)
 			default:
 				if w.live != nil {
 					w.live.QueueLen.Set(0)
@@ -350,9 +377,40 @@ func (w *Worker) Stats() WorkerStats {
 	}
 }
 
+// onTransportDrop is the UDP endpoint's drop hook: a reassembly-layer
+// loss is a lost frame that never reached onMessage, so it is counted
+// against this worker and, when tracing, recorded as a drop-outcome
+// span (with no frame identity — the envelope never decoded).
+func (w *Worker) onTransportDrop(from, reason string) {
+	if w.live != nil {
+		w.live.Dropped.Inc()
+	}
+	if !w.cfg.TraceSpans {
+		return
+	}
+	now := time.Now()
+	at := time.Duration(now.UnixMicro()) * time.Microsecond
+	w.cfg.Spans.Record(obs.Span{
+		Service:   w.cfg.Step.String(),
+		Host:      w.cfg.Host,
+		Step:      w.cfg.Step,
+		EnqueueAt: at,
+		StartAt:   at,
+		EndAt:     at,
+		Outcome:   obs.OutcomeTransport,
+	})
+}
+
+// onMessage is the transport receive handler. data is only borrowed
+// (transport.Handler contract), so the frame is decoded with the
+// copying decoder into a pooled envelope; ownership of that envelope
+// transfers to whichever path consumes it — the processing goroutine
+// (scAtteR), the sidecar queue (scAtteR++), or a drop path — and the
+// consumer returns it to the pool.
 func (w *Worker) onMessage(data []byte, from net.Addr) {
-	var fr wire.Frame
+	fr := w.frames.Get()
 	if err := fr.UnmarshalBinary(data); err != nil {
+		w.frames.Put(fr)
 		w.errorsCount.Add(1)
 		if w.live != nil {
 			w.live.Errors.Inc()
@@ -373,18 +431,20 @@ func (w *Worker) onMessage(data []byte, from net.Addr) {
 			if w.live != nil {
 				w.live.Dropped.Inc()
 			}
-			w.dropSpan(&fr, obs.OutcomeBusy, now, now, now)
+			w.dropSpan(fr, obs.OutcomeBusy, now, now, now)
+			w.frames.Put(fr)
 			return
 		}
 		w.wg.Add(1)
 		go func() {
 			defer w.wg.Done()
 			defer w.busy.Store(false)
-			w.process(&fr, now, 0)
+			w.process(fr, now, 0)
+			w.frames.Put(fr)
 		}()
 	case core.ModeScatterPP:
 		select {
-		case w.queue <- queuedItem{fr: &fr, at: now}:
+		case w.queue <- queuedItem{fr: fr, at: now}:
 			if w.live != nil {
 				w.live.QueueLen.Set(int64(len(w.queue)))
 			}
@@ -393,8 +453,11 @@ func (w *Worker) onMessage(data []byte, from net.Addr) {
 			if w.live != nil {
 				w.live.Dropped.Inc()
 			}
-			w.dropSpan(&fr, obs.OutcomeOverflow, now, now, now)
+			w.dropSpan(fr, obs.OutcomeOverflow, now, now, now)
+			w.frames.Put(fr)
 		}
+	default:
+		w.frames.Put(fr)
 	}
 }
 
@@ -416,9 +479,11 @@ func (w *Worker) sidecarLoop() {
 				}
 				now := time.Now()
 				w.dropSpan(item.fr, obs.OutcomeThreshold, item.at, now, now)
+				w.frames.Put(item.fr)
 				continue
 			}
 			w.process(item.fr, item.at, wait)
+			w.frames.Put(item.fr)
 		}
 	}
 }
@@ -457,7 +522,11 @@ func (w *Worker) process(fr *wire.Frame, enqueuedAt time.Time, queueWait time.Du
 		})
 	}
 
-	data, err := fr.MarshalBinary()
+	// Re-encode into pooled scratch: the transport must not retain the
+	// buffer after SendToAddr returns (Endpoint contract), so it goes
+	// straight back to the pool when the forward resolves.
+	data, err := fr.AppendBinary(w.encPool.Get(fr.EncodedSize()))
+	defer w.encPool.Put(data)
 	if err != nil {
 		w.errorsCount.Add(1)
 		return
@@ -475,29 +544,50 @@ func (w *Worker) process(fr *wire.Frame, enqueuedAt time.Time, queueWait time.Du
 			w.errorsCount.Add(1)
 			return
 		}
-		clientAddr := fr.ClientAddr.String()
-		if err := w.forward(conn, func() (string, bool) { return clientAddr, true }, data); err != nil {
+		clientAddr := w.clientAddrString(fr.ClientAddr)
+		if err := w.forward(conn, wire.StepDone, clientAddr, data); err != nil {
 			w.errorsCount.Add(1)
 			w.cfg.Log.Debug("deliver failed", "client", clientAddr, "err", err)
 		}
 		return
 	}
-	step := fr.Step
-	if err := w.forward(conn, func() (string, bool) { return w.cfg.Router.Next(step) }, data); err != nil {
+	if err := w.forward(conn, fr.Step, "", data); err != nil {
 		w.errorsCount.Add(1)
-		w.cfg.Log.Warn("forward failed", "step", step, "err", err)
+		w.cfg.Log.Warn("forward failed", "step", fr.Step, "err", err)
 	}
+}
+
+// clientAddrString formats a client delivery address through a bounded
+// cache, so steady-state deliveries skip netip.AddrPort.String's
+// allocation.
+func (w *Worker) clientAddrString(ap netip.AddrPort) string {
+	w.clientAddrMu.RLock()
+	s, ok := w.clientAddrs[ap]
+	w.clientAddrMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = ap.String()
+	w.clientAddrMu.Lock()
+	if len(w.clientAddrs) < maxClientAddrCacheEntries {
+		w.clientAddrs[ap] = s
+	}
+	w.clientAddrMu.Unlock()
+	return s
 }
 
 // errNoRoute reports a step with no live replica in the routing table.
 var errNoRoute = errors.New("agent: no route for step")
 
-// forward sends an outbound frame under the worker's retry budget. The
-// destination is re-resolved on every attempt, so after a control-plane
-// route update a retry fails over to the replacement replica instead of
-// re-hitting the dead one — without retries, a send failure silently
-// loses the frame (it only shows up as an error count).
-func (w *Worker) forward(conn transport.Endpoint, resolve func() (string, bool), data []byte) error {
+// forward sends an outbound frame under the worker's retry budget.
+// With fixedAddr set (final delivery to a client) every attempt targets
+// that address; otherwise the route for step is re-resolved on every
+// attempt, so after a control-plane route update a retry fails over to
+// the replacement replica instead of re-hitting the dead one — without
+// retries, a send failure silently loses the frame (it only shows up as
+// an error count). The destination is plain arguments rather than a
+// resolver callback so the per-frame hot path builds no closures.
+func (w *Worker) forward(conn transport.Endpoint, step wire.Step, fixedAddr string, data []byte) error {
 	backoff := w.cfg.ForwardBackoff
 	var lastErr error
 	for attempt := 0; attempt < w.cfg.ForwardAttempts; attempt++ {
@@ -512,7 +602,10 @@ func (w *Worker) forward(conn transport.Endpoint, resolve func() (string, bool),
 			}
 			backoff *= 2
 		}
-		addr, ok := resolve()
+		addr, ok := fixedAddr, true
+		if fixedAddr == "" {
+			addr, ok = w.cfg.Router.Next(step)
+		}
 		if !ok {
 			lastErr = errNoRoute
 			continue
@@ -678,6 +771,20 @@ func (c *Client) streamLoop() {
 	interval := time.Second / time.Duration(c.cfg.FPS)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	addrPort, err := netip.ParseAddrPort(c.conn.LocalAddr())
+	if err != nil {
+		c.cfg.Log.Warn("client addr parse", "err", err)
+		return
+	}
+	// One envelope and one encode buffer for the whole stream: only the
+	// per-frame fields change, and the buffer keeps its capacity across
+	// frames (the transport does not retain it after SendToAddr).
+	fr := &wire.Frame{
+		ClientID:   c.cfg.ID,
+		ClientAddr: addrPort,
+		Step:       wire.StepPrimary,
+	}
+	var buf []byte
 	i := 0
 	for {
 		select {
@@ -688,27 +795,17 @@ func (c *Client) streamLoop() {
 			if payload == nil {
 				return
 			}
-			frameNo := uint64(i + 1)
-			addrPort, err := netip.ParseAddrPort(c.conn.LocalAddr())
-			if err != nil {
-				c.cfg.Log.Warn("client addr parse", "err", err)
-				return
-			}
-			fr := &wire.Frame{
-				ClientID:      c.cfg.ID,
-				FrameNo:       frameNo,
-				ClientAddr:    addrPort,
-				Step:          wire.StepPrimary,
-				CaptureMicros: uint64(time.Now().UnixMicro()),
-				Payload:       payload,
-			}
-			data, err := fr.MarshalBinary()
+			fr.FrameNo = uint64(i + 1)
+			fr.CaptureMicros = uint64(time.Now().UnixMicro())
+			fr.Payload = payload
+			data, err := fr.AppendBinary(buf[:0])
 			if err != nil {
 				c.cfg.Log.Warn("marshal frame", "err", err)
 				continue
 			}
+			buf = data
 			c.mu.Lock()
-			c.sentAt[frameNo] = time.Now()
+			c.sentAt[fr.FrameNo] = time.Now()
 			c.mu.Unlock()
 			c.sent.Add(1)
 			if c.cfg.Obs != nil {
@@ -726,8 +823,12 @@ func (c *Client) streamLoop() {
 }
 
 func (c *Client) onResult(data []byte, from net.Addr) {
+	// No-copy decode: data is borrowed for the duration of this call
+	// (transport.Handler contract) and the aliased payload never
+	// escapes — DecodePayload copies every section it extracts, and the
+	// stage/span slices are copied into the result below.
 	var fr wire.Frame
-	if err := fr.UnmarshalBinary(data); err != nil {
+	if err := fr.UnmarshalBinaryNoCopy(data); err != nil {
 		return
 	}
 	c.mu.Lock()

@@ -1,0 +1,78 @@
+package agent
+
+import (
+	"net"
+	"testing"
+
+	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+// workerHopAllocBudget is the enforced steady-state allocation budget
+// for one full data-plane hop: client send → transport receive →
+// decode → process → re-encode → forward → sink receive. The hop is
+// designed to be allocation-free (pooled frames, pooled encode scratch,
+// pooled transport buffers — DESIGN.md "Buffer ownership & pooling");
+// the budget leaves two allocations of slack for runtime noise
+// (timer wheels, map growth in long-lived caches) so the test stays
+// deterministic without hiding a real regression, which shows up as
+// tens of allocations per frame.
+const workerHopAllocBudget = 2
+
+func TestWorkerHopAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is unreliable under -race")
+	}
+	delivered := make(chan struct{}, 1)
+	sink, err := listenEndpoint("udp", "127.0.0.1:0", func(data []byte, from net.Addr) {
+		delivered <- struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	w, err := StartWorker(WorkerConfig{
+		Step:       wire.StepPrimary,
+		Mode:       core.ModeScatterPP,
+		Processor:  hopProcessor{step: wire.StepPrimary},
+		ListenAddr: "127.0.0.1:0",
+		Router:     NewStaticRouter(nil),
+		QueueCap:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	src, err := listenEndpoint("udp", "127.0.0.1:0", func([]byte, net.Addr) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	fr := sinkBoundFrame(t, sink.LocalAddr(), 180<<10)
+	data, err := fr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingress := w.Addr()
+	for i := 0; i < 4; i++ { // warm every pool on the path
+		if err := src.SendToAddr(ingress, data); err != nil {
+			t.Fatal(err)
+		}
+		<-delivered
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := src.SendToAddr(ingress, data); err != nil {
+			t.Fatal(err)
+		}
+		<-delivered
+	})
+	if avg > workerHopAllocBudget {
+		t.Errorf("worker hop allocates %.1f/op, budget %d", avg, workerHopAllocBudget)
+	}
+	if st := w.Stats(); st.Errors > 0 || st.DroppedQueue > 0 || st.DroppedThreshold > 0 {
+		t.Fatalf("worker dropped or errored: %+v", st)
+	}
+}

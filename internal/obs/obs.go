@@ -34,6 +34,7 @@ const (
 	OutcomeTimeout                  // dependency wait timed out
 	OutcomeError                    // processing error (real runtime)
 	OutcomeShutdown                 // abandoned in-queue at worker shutdown
+	OutcomeTransport                // lost below the worker (reassembly drop)
 )
 
 // String names the outcome for exposition and trace args.
@@ -53,6 +54,8 @@ func (o Outcome) String() string {
 		return "error"
 	case OutcomeShutdown:
 		return "drop-shutdown"
+	case OutcomeTransport:
+		return "drop-transport"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"net"
+	"testing"
+)
+
+// Steady-state allocation budgets for the transport send paths,
+// enforced as tests (DESIGN.md "Buffer ownership & pooling"). Receive
+// paths are covered indirectly by the worker-hop budget in
+// internal/agent.
+const (
+	udpSendAllocBudget = 0
+	tcpSendAllocBudget = 0
+)
+
+func TestUDPSendAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is unreliable under -race")
+	}
+	sink, err := Listen("127.0.0.1:0", func([]byte, net.Addr) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	src, err := Listen("127.0.0.1:0", func([]byte, net.Addr) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	addr := sink.LocalAddr()
+	data := make([]byte, 180<<10)                      // 4 fragments
+	if err := src.SendToAddr(addr, data); err != nil { // warm pools + addr cache
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := src.SendToAddr(addr, data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > udpSendAllocBudget {
+		t.Errorf("UDP SendToAddr allocates %.1f/op, budget %d", avg, udpSendAllocBudget)
+	}
+}
+
+func TestTCPSendAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is unreliable under -race")
+	}
+	sink, err := ListenTCP("127.0.0.1:0", func([]byte, net.Addr) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	src, err := ListenTCP("127.0.0.1:0", func([]byte, net.Addr) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	addr := sink.LocalAddr()
+	data := make([]byte, 180<<10)
+	if err := src.SendToAddr(addr, data); err != nil { // warm the pooled conn
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if err := src.SendToAddr(addr, data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > tcpSendAllocBudget {
+		t.Errorf("TCP SendToAddr allocates %.1f/op, budget %d", avg, tcpSendAllocBudget)
+	}
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package transport
+
+import "net"
+
+// liveProbe is a no-op where non-blocking socket reads are not
+// portable: every connection reports alive, and a dead pooled stream is
+// instead detected when its next write fails (costing one frame, as the
+// pre-writev implementation did).
+type liveProbe struct{}
+
+func (liveProbe) init(net.Conn) {}
+func (liveProbe) alive() bool   { return true }

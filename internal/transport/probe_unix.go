@@ -1,0 +1,65 @@
+//go:build unix
+
+package transport
+
+import (
+	"net"
+	"syscall"
+)
+
+// liveProbe detects a dead pooled TCP connection before a frame is
+// written into it. Outbound peer connections are one-way — the peer
+// never sends payload back — so the receive side of the socket can only
+// ever hold a FIN (peer closed, read returns 0) or an error such as
+// ECONNRESET (peer restarted). A non-blocking read therefore answers
+// "is this stream still alive?" in one syscall: EAGAIN means quiet and
+// healthy, anything else means dead.
+//
+// The callback is bound once at init so the steady-state alive() call
+// allocates nothing (a per-call closure would heap-allocate on every
+// frame).
+type liveProbe struct {
+	rc  syscall.RawConn
+	fn  func(fd uintptr)
+	ok  bool
+	buf [1]byte
+}
+
+// init binds the probe to a freshly dialed connection. Connections that
+// do not expose a raw descriptor (e.g. test doubles) are never probed
+// and report alive.
+func (lp *liveProbe) init(conn net.Conn) {
+	lp.rc, lp.fn = nil, nil
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return
+	}
+	lp.rc = rc
+	lp.fn = lp.peek
+}
+
+func (lp *liveProbe) peek(fd uintptr) {
+	// Go sockets are registered with the runtime poller and already
+	// non-blocking, so a plain read never blocks. Consuming (rather
+	// than MSG_PEEK-ing) is fine: any readable byte already means the
+	// one-way protocol was violated and the connection is dropped.
+	n, err := syscall.Read(int(fd), lp.buf[:])
+	lp.ok = n < 0 && (err == syscall.EAGAIN || err == syscall.EWOULDBLOCK || err == syscall.EINTR)
+}
+
+// alive reports whether the connection shows no sign of death. Callers
+// hold the peer lock, so the scratch state is race-free.
+func (lp *liveProbe) alive() bool {
+	if lp.rc == nil {
+		return true
+	}
+	lp.ok = false
+	if err := lp.rc.Control(lp.fn); err != nil {
+		return false
+	}
+	return lp.ok
+}

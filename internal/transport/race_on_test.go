@@ -1,0 +1,7 @@
+//go:build race
+
+package transport
+
+// raceEnabled mirrors the -race flag so allocation-accounting tests can
+// skip themselves: the race runtime's instrumentation allocates.
+const raceEnabled = true

@@ -10,6 +10,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"github.com/edge-mar/scatter/internal/wire"
 )
 
 // TCPOptions tune the failure behaviour of the framed TCP endpoint. The
@@ -74,11 +76,17 @@ type TCPConn struct {
 	closed  bool
 	done    chan struct{}
 	wg      sync.WaitGroup
+
+	readPool wire.BufPool // per-frame receive buffers, released after each handler call
 }
 
 type tcpPeer struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu     sync.Mutex
+	conn   net.Conn
+	probe  liveProbe // pre-write FIN/RST detector for conn
+	lenBuf [4]byte   // length-prefix scratch, reused per write
+	vec    [2][]byte // scatter-gather backing for writev, reused per write
+	nb     net.Buffers
 }
 
 // ListenTCP binds a framed TCP endpoint on addr with default options and
@@ -176,6 +184,7 @@ func (c *TCPConn) readLoop(conn net.Conn) {
 	}()
 	r := bufio.NewReaderSize(conn, 1<<20)
 	var lenBuf [4]byte
+	from := conn.RemoteAddr()
 	for {
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 			return
@@ -184,11 +193,15 @@ func (c *TCPConn) readLoop(conn net.Conn) {
 		if n == 0 || n > maxMessage {
 			return // corrupt stream; drop the connection
 		}
-		data := make([]byte, n)
+		// Pooled per-frame buffer, recycled as soon as the handler
+		// returns — the handler only borrows it (see Handler).
+		data := c.readPool.Get(int(n))[:n]
 		if _, err := io.ReadFull(r, data); err != nil {
+			c.readPool.Put(data)
 			return
 		}
-		c.handler(data, conn.RemoteAddr())
+		c.handler(data, from)
+		c.readPool.Put(data)
 	}
 }
 
@@ -285,6 +298,7 @@ func (c *TCPConn) peerConn(p *tcpPeer, addr string) (net.Conn, error) {
 		return p.conn, nil
 	}
 	p.conn = conn
+	p.probe.init(conn)
 	return conn, nil
 }
 
@@ -299,22 +313,29 @@ func (c *TCPConn) writeFrame(p *tcpPeer, conn net.Conn, addr string, data []byte
 		// Another sender already invalidated this connection.
 		return fmt.Errorf("transport: connection to %s reset", addr)
 	}
-	fail := func(err error) error {
+	// A freshly restarted peer leaves a dead stream in the pool; the old
+	// code caught it by splitting prefix and payload into two writes so
+	// the RST could fail the second. With a single writev that signal is
+	// gone, so probe the socket for a pending FIN/RST first — one
+	// non-blocking syscall, no allocation (see liveProbe).
+	if !p.probe.alive() {
+		conn.Close()
+		p.conn = nil
+		return fmt.Errorf("transport: connection to %s reset by peer", addr)
+	}
+	binary.BigEndian.PutUint32(p.lenBuf[:], uint32(len(data)))
+	conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+	// One writev for prefix + payload: a single syscall, no
+	// concatenation copy, and frames stay intact on the wire.
+	p.vec[0], p.vec[1] = p.lenBuf[:], data
+	p.nb = net.Buffers(p.vec[:])
+	_, err := p.nb.WriteTo(conn)
+	p.vec[0], p.vec[1] = nil, nil // drop the payload ref; callers reuse their buffer
+	p.nb = nil
+	if err != nil {
 		conn.Close()
 		p.conn = nil
 		return fmt.Errorf("transport: write to %s: %w", addr, err)
-	}
-	var lenBuf [4]byte
-	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
-	conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
-	// Two writes, not one writev: the prefix write gives a freshly-dead
-	// peer's RST a chance to arrive and fail the payload write, so stale
-	// pooled connections are detected within one frame on loopback.
-	if _, err := conn.Write(lenBuf[:]); err != nil {
-		return fail(err)
-	}
-	if _, err := conn.Write(data); err != nil {
-		return fail(err)
 	}
 	conn.SetWriteDeadline(time.Time{})
 	return nil

@@ -7,7 +7,13 @@
 //
 // Fragment header (big-endian): magic u16 | msgID u64 | index u16 |
 // total u16, followed by the chunk. Partial messages are garbage
-// collected after a reassembly timeout.
+// collected after a reassembly timeout, and the reassembly table is
+// bounded (count and bytes) so a flood of half-frames cannot exhaust an
+// edge node's memory.
+//
+// The data plane is allocation-free in steady state: fragment scratch,
+// reassembly arenas, and read buffers are pooled, and received messages
+// are only borrowed by the Handler (see Handler's ownership contract).
 package transport
 
 import (
@@ -15,8 +21,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
+
+	"github.com/edge-mar/scatter/internal/wire"
 )
 
 const (
@@ -29,6 +38,19 @@ const (
 // ReassemblyTimeout is how long a partial message waits for fragments.
 const ReassemblyTimeout = 2 * time.Second
 
+// Reassembly-table bounds: at most MaxReassemblies partial messages and
+// MaxReassemblyBytes of reassembly arena may be pending at once.
+// Fragments beyond either bound are dropped and counted
+// (ConnStats.ReassemblyOverCap) — bounded memory beats unbounded queues
+// on a resource-constrained edge node.
+const (
+	MaxReassemblies    = 256
+	MaxReassemblyBytes = 64 << 20
+)
+
+// maxAddrCacheEntries bounds the resolved-destination cache.
+const maxAddrCacheEntries = 4096
+
 // Errors.
 var (
 	ErrTooLarge = errors.New("transport: message too large")
@@ -37,6 +59,11 @@ var (
 
 // Handler receives a fully reassembled message. from is the sender's
 // address (UDP or TCP depending on the endpoint).
+//
+// Ownership: data is only borrowed for the duration of the call — the
+// endpoint recycles the buffer as soon as the handler returns. A handler
+// that needs the bytes afterwards must copy them (decoding with
+// wire.Frame.UnmarshalBinary copies; UnmarshalBinaryNoCopy does not).
 type Handler func(data []byte, from net.Addr)
 
 // Endpoint abstracts the message transports service workers use: the
@@ -45,32 +72,65 @@ type Handler func(data []byte, from net.Addr)
 type Endpoint interface {
 	// LocalAddr returns the bound address as "host:port".
 	LocalAddr() string
-	// SendToAddr delivers one message to the destination address.
+	// SendToAddr delivers one message to the destination address. It
+	// must not retain data after it returns, so callers may reuse the
+	// buffer immediately.
 	SendToAddr(addr string, data []byte) error
 	Close() error
 }
+
+// ConnStats are cumulative counters for the UDP endpoint's receive path
+// (FaultStats-style; see FaultyEndpoint for the injection counters).
+type ConnStats struct {
+	Reassembled        uint64 // multi-fragment messages completed
+	ReassemblyExpired  uint64 // partial messages dropped at the timeout
+	ReassemblyOverCap  uint64 // fragments refused by the table bounds
+	FragmentsMalformed uint64 // fragments with inconsistent geometry
+}
+
+// Reassembly drop reasons passed to the drop hook.
+const (
+	DropExpired   = "expired"
+	DropOverCap   = "overcap"
+	DropMalformed = "malformed"
+)
 
 // Conn is a UDP endpoint that sends and receives fragmented messages.
 type Conn struct {
 	pc      *net.UDPConn
 	handler Handler
 
-	mu     sync.Mutex
-	nextID uint64
-	reasm  map[reasmKey]*partial
-	closed bool
-	done   chan struct{}
+	mu         sync.Mutex
+	nextID     uint64
+	reasm      map[reasmKey]*partial
+	reasmBytes int
+	freeParts  []*partial
+	stats      ConnStats
+	dropHook   func(from, reason string)
+	closed     bool
+	done       chan struct{}
+
+	addrMu    sync.RWMutex
+	addrCache map[string]netip.AddrPort
+
+	fragPool wire.BufPool // send-side fragment scratch
+	msgPool  wire.BufPool // receive-side reassembly arenas
 }
 
 type reasmKey struct {
-	from  string
+	from  netip.AddrPort
 	msgID uint64
 }
 
+// partial is one in-progress reassembly. Fragments land directly in a
+// contiguous pooled arena at idx*maxChunk (every non-final fragment is
+// exactly maxChunk long), so completion needs no concatenation pass.
 type partial struct {
-	chunks   [][]byte
+	data     []byte // arena, cap >= total*maxChunk
+	have     []bool
 	received int
 	total    int
+	lastLen  int
 	deadline time.Time
 }
 
@@ -92,10 +152,11 @@ func Listen(addr string, handler Handler) (*Conn, error) {
 	_ = pc.SetReadBuffer(8 << 20)
 	_ = pc.SetWriteBuffer(8 << 20)
 	c := &Conn{
-		pc:      pc,
-		handler: handler,
-		reasm:   make(map[reasmKey]*partial),
-		done:    make(chan struct{}),
+		pc:        pc,
+		handler:   handler,
+		reasm:     make(map[reasmKey]*partial),
+		addrCache: make(map[string]netip.AddrPort),
+		done:      make(chan struct{}),
 	}
 	go c.readLoop()
 	go c.gcLoop()
@@ -107,6 +168,24 @@ func (c *Conn) Addr() *net.UDPAddr { return c.pc.LocalAddr().(*net.UDPAddr) }
 
 // LocalAddr implements Endpoint.
 func (c *Conn) LocalAddr() string { return c.pc.LocalAddr().String() }
+
+// Stats returns a snapshot of the receive-path counters.
+func (c *Conn) Stats() ConnStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// SetDropHook installs a callback invoked (outside the endpoint's lock)
+// whenever the receive path discards fragments — reassembly timeout,
+// table bounds, or malformed geometry. Workers use it to record
+// drop-outcome spans so transport-level losses and worker-level drops
+// tell one story.
+func (c *Conn) SetDropHook(hook func(from, reason string)) {
+	c.mu.Lock()
+	c.dropHook = hook
+	c.mu.Unlock()
+}
 
 // Close stops the endpoint.
 func (c *Conn) Close() error {
@@ -123,6 +202,36 @@ func (c *Conn) Close() error {
 
 // SendTo fragments data and transmits it to the destination address.
 func (c *Conn) SendTo(dst *net.UDPAddr, data []byte) error {
+	ap := dst.AddrPort()
+	return c.sendTo(netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port()), data)
+}
+
+// SendToAddr resolves a "host:port" destination and sends. Resolved
+// destinations are cached, so steady-state sends skip the resolver.
+func (c *Conn) SendToAddr(addr string, data []byte) error {
+	c.addrMu.RLock()
+	ap, ok := c.addrCache[addr]
+	c.addrMu.RUnlock()
+	if !ok {
+		udpAddr, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return fmt.Errorf("transport: resolve %s: %w", addr, err)
+		}
+		ap = udpAddr.AddrPort()
+		// Unmap 4-in-6 so a udp4-bound socket accepts the write.
+		ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+		c.addrMu.Lock()
+		if len(c.addrCache) < maxAddrCacheEntries {
+			c.addrCache[addr] = ap
+		}
+		c.addrMu.Unlock()
+	}
+	return c.sendTo(ap, data)
+}
+
+// sendTo fragments data into a pooled scratch buffer and writes each
+// fragment with WriteToUDPAddrPort — zero allocations in steady state.
+func (c *Conn) sendTo(dst netip.AddrPort, data []byte) error {
 	if len(data) > maxMessage {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(data))
 	}
@@ -139,7 +248,8 @@ func (c *Conn) SendTo(dst *net.UDPAddr, data []byte) error {
 	if total == 0 {
 		total = 1
 	}
-	buf := make([]byte, 0, headerLen+maxChunk)
+	buf := c.fragPool.Get(headerLen + maxChunk)
+	defer c.fragPool.Put(buf)
 	for idx := 0; idx < total; idx++ {
 		lo := idx * maxChunk
 		hi := lo + maxChunk
@@ -152,34 +262,41 @@ func (c *Conn) SendTo(dst *net.UDPAddr, data []byte) error {
 		buf = binary.BigEndian.AppendUint16(buf, uint16(idx))
 		buf = binary.BigEndian.AppendUint16(buf, uint16(total))
 		buf = append(buf, data[lo:hi]...)
-		if _, err := c.pc.WriteToUDP(buf, dst); err != nil {
+		if _, err := c.pc.WriteToUDPAddrPort(buf, dst); err != nil {
 			return fmt.Errorf("transport: send to %s: %w", dst, err)
 		}
 	}
 	return nil
 }
 
-// SendToAddr resolves a "host:port" destination and sends.
-func (c *Conn) SendToAddr(addr string, data []byte) error {
-	udpAddr, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return fmt.Errorf("transport: resolve %s: %w", addr, err)
-	}
-	return c.SendTo(udpAddr, data)
-}
-
 func (c *Conn) readLoop() {
 	buf := make([]byte, headerLen+maxChunk+1024)
+	// senders caches the net.Addr handed to the handler per peer, so the
+	// steady-state receive path allocates nothing. Owned by this
+	// goroutine; bounded like the resolve cache.
+	senders := make(map[netip.AddrPort]*net.UDPAddr)
 	for {
-		n, from, err := c.pc.ReadFromUDP(buf)
+		n, from, err := c.pc.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			return
 		}
-		c.ingest(buf[:n], from)
+		addr, ok := senders[from]
+		if !ok {
+			addr = net.UDPAddrFromAddrPort(from)
+			if len(senders) < maxAddrCacheEntries {
+				senders[from] = addr
+			}
+		}
+		c.ingest(buf[:n], from, addr)
 	}
 }
 
-func (c *Conn) ingest(pkt []byte, from *net.UDPAddr) {
+// ingest routes one datagram. The packet buffer is the read loop's and
+// is only borrowed: single-fragment messages hand their chunk straight
+// to the handler (which must not retain it), multi-fragment chunks are
+// copied into the message's contiguous arena. addr is the cached
+// net.Addr form of from.
+func (c *Conn) ingest(pkt []byte, from netip.AddrPort, addr *net.UDPAddr) {
 	if len(pkt) < headerLen {
 		return
 	}
@@ -189,62 +306,146 @@ func (c *Conn) ingest(pkt []byte, from *net.UDPAddr) {
 	msgID := binary.BigEndian.Uint64(pkt[2:])
 	idx := int(binary.BigEndian.Uint16(pkt[10:]))
 	total := int(binary.BigEndian.Uint16(pkt[12:]))
+	chunk := pkt[headerLen:]
 	if total == 0 || idx >= total || total*maxChunk > maxMessage+maxChunk {
+		c.countDrop(from, DropMalformed, &c.stats.FragmentsMalformed)
 		return
 	}
-	chunk := append([]byte(nil), pkt[headerLen:]...)
-
 	if total == 1 {
-		c.handler(chunk, from)
+		c.handler(chunk, addr)
 		return
 	}
-	key := reasmKey{from: from.String(), msgID: msgID}
+	// Contiguous reassembly relies on fixed fragment geometry: every
+	// non-final fragment carries exactly maxChunk bytes (as SendTo
+	// produces), the final one at most that.
+	if len(chunk) > maxChunk || (idx < total-1 && len(chunk) != maxChunk) {
+		c.countDrop(from, DropMalformed, &c.stats.FragmentsMalformed)
+		return
+	}
+
+	key := reasmKey{from: from, msgID: msgID}
 	c.mu.Lock()
 	p, ok := c.reasm[key]
 	if !ok {
-		p = &partial{chunks: make([][]byte, total), total: total, deadline: time.Now().Add(ReassemblyTimeout)}
+		arena := total * maxChunk
+		if len(c.reasm) >= MaxReassemblies || c.reasmBytes+arena > MaxReassemblyBytes {
+			c.stats.ReassemblyOverCap++
+			hook := c.dropHook
+			c.mu.Unlock()
+			if hook != nil {
+				hook(from.String(), DropOverCap)
+			}
+			return
+		}
+		p = c.getPartial(total)
 		c.reasm[key] = p
+		c.reasmBytes += arena
 	}
-	if p.total != total || p.chunks[idx] != nil {
+	if p.total != total || p.have[idx] {
 		c.mu.Unlock()
 		return // duplicate or inconsistent fragment
 	}
-	p.chunks[idx] = chunk
+	copy(p.data[idx*maxChunk:], chunk)
+	p.have[idx] = true
 	p.received++
+	if idx == total-1 {
+		p.lastLen = len(chunk)
+	}
 	complete := p.received == p.total
 	if complete {
 		delete(c.reasm, key)
+		c.reasmBytes -= p.total * maxChunk
+		c.stats.Reassembled++
 	}
 	c.mu.Unlock()
 	if !complete {
 		return
 	}
-	size := 0
-	for _, ch := range p.chunks {
-		size += len(ch)
+	msg := p.data[:(p.total-1)*maxChunk+p.lastLen]
+	c.handler(msg, addr)
+	c.putPartial(p)
+}
+
+// countDrop bumps a receive-path counter and fires the drop hook.
+func (c *Conn) countDrop(from netip.AddrPort, reason string, counter *uint64) {
+	c.mu.Lock()
+	*counter++
+	hook := c.dropHook
+	c.mu.Unlock()
+	if hook != nil {
+		hook(from.String(), reason)
 	}
-	data := make([]byte, 0, size)
-	for _, ch := range p.chunks {
-		data = append(data, ch...)
+}
+
+// getPartial returns a recycled partial with an arena and marks sized
+// for total fragments. Caller holds c.mu.
+func (c *Conn) getPartial(total int) *partial {
+	var p *partial
+	if n := len(c.freeParts); n > 0 {
+		p = c.freeParts[n-1]
+		c.freeParts[n-1] = nil
+		c.freeParts = c.freeParts[:n-1]
+	} else {
+		p = &partial{}
 	}
-	c.handler(data, from)
+	arena := total * maxChunk
+	if cap(p.data) < arena {
+		p.data = c.msgPool.Get(arena)
+	}
+	p.data = p.data[:arena]
+	if cap(p.have) < total {
+		p.have = make([]bool, total)
+	}
+	p.have = p.have[:total]
+	for i := range p.have {
+		p.have[i] = false
+	}
+	p.received, p.total, p.lastLen = 0, total, 0
+	p.deadline = time.Now().Add(ReassemblyTimeout)
+	return p
+}
+
+// putPartial recycles a finished reassembly: the arena goes back to the
+// message pool, the marks stay with the partial.
+func (c *Conn) putPartial(p *partial) {
+	c.msgPool.Put(p.data)
+	p.data = nil
+	c.mu.Lock()
+	if len(c.freeParts) < MaxReassemblies {
+		c.freeParts = append(c.freeParts, p)
+	}
+	c.mu.Unlock()
 }
 
 func (c *Conn) gcLoop() {
 	ticker := time.NewTicker(ReassemblyTimeout / 2)
 	defer ticker.Stop()
+	var expired []*partial
+	var expiredFrom []string
 	for {
 		select {
 		case <-c.done:
 			return
 		case now := <-ticker.C:
+			expired, expiredFrom = expired[:0], expiredFrom[:0]
 			c.mu.Lock()
 			for key, p := range c.reasm {
 				if now.After(p.deadline) {
 					delete(c.reasm, key)
+					c.reasmBytes -= p.total * maxChunk
+					c.stats.ReassemblyExpired++
+					expired = append(expired, p)
+					expiredFrom = append(expiredFrom, key.from.String())
 				}
 			}
+			hook := c.dropHook
 			c.mu.Unlock()
+			for i, p := range expired {
+				c.putPartial(p)
+				if hook != nil {
+					hook(expiredFrom[i], DropExpired)
+				}
+			}
 		}
 	}
 }

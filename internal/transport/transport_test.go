@@ -148,11 +148,13 @@ func TestPartialMessageGarbageCollected(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer raw.Close()
-	// A single fragment of a 2-fragment message, never completed.
+	// The final fragment of a 2-fragment message, never completed.
+	// (Only the last fragment may be shorter than maxChunk, so this is
+	// the one short fragment the geometry check accepts.)
 	pkt := make([]byte, 0, 32)
 	pkt = append(pkt, 0xF2, 0x7A)                         // magic
 	pkt = append(pkt, 0, 0, 0, 0, 0, 0, 0, 42)            // msgID
-	pkt = append(pkt, 0, 0)                               // idx 0
+	pkt = append(pkt, 0, 1)                               // idx 1 (final)
 	pkt = append(pkt, 0, 2)                               // total 2
 	pkt = append(pkt, []byte("partial-fragment-data")...) // chunk
 	if _, err := raw.Write(pkt); err != nil {

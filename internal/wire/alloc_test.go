@@ -1,0 +1,109 @@
+package wire
+
+import "testing"
+
+// Allocation budgets, enforced as tests so a regression fails `make
+// test` rather than silently drifting a benchmark. The budgets are the
+// steady-state contract of the zero-allocation data plane (DESIGN.md
+// "Buffer ownership & pooling"):
+//
+//	encode into a pooled buffer        0 allocs
+//	copying decode into a reused frame 0 allocs (spans add 1 host string each)
+//	no-copy decode into a reused frame 0 allocs
+const (
+	marshalAllocBudget        = 0
+	unmarshalAllocBudget      = 0
+	unmarshalSpansAllocBudget = 1 // per span: the Host string
+)
+
+func TestMarshalAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is unreliable under -race")
+	}
+	f := spanFrame()
+	f.Payload = make([]byte, 180<<10)
+	var pool BufPool
+	pool.Put(pool.Get(f.EncodedSize())) // warm the pool
+	avg := testing.AllocsPerRun(200, func() {
+		buf, err := f.AppendBinary(pool.Get(f.EncodedSize()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Put(buf)
+	})
+	if avg > marshalAllocBudget {
+		t.Errorf("pooled marshal allocates %.1f/op, budget %d", avg, marshalAllocBudget)
+	}
+}
+
+func TestUnmarshalAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is unreliable under -race")
+	}
+	f := sampleFrame()
+	f.Payload = make([]byte, 180<<10)
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Frame
+	if err := g.UnmarshalBinary(data); err != nil { // warm capacities
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := g.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > unmarshalAllocBudget {
+		t.Errorf("reused-frame unmarshal allocates %.1f/op, budget %d", avg, unmarshalAllocBudget)
+	}
+}
+
+func TestUnmarshalSpansAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is unreliable under -race")
+	}
+	f := spanFrame()
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Frame
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	budget := float64(len(f.Spans) * unmarshalSpansAllocBudget)
+	avg := testing.AllocsPerRun(200, func() {
+		if err := g.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > budget {
+		t.Errorf("span-carrying unmarshal allocates %.1f/op, budget %.0f", avg, budget)
+	}
+}
+
+func TestUnmarshalNoCopyAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is unreliable under -race")
+	}
+	f := sampleFrame()
+	f.Payload = make([]byte, 180<<10)
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Frame
+	if err := g.UnmarshalBinaryNoCopy(data); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := g.UnmarshalBinaryNoCopy(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("no-copy unmarshal allocates %.1f/op, budget 0", avg)
+	}
+}

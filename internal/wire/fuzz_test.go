@@ -2,7 +2,9 @@ package wire
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
+	"unsafe"
 )
 
 // FuzzUnmarshalBinary hardens the frame decoder against arbitrary
@@ -32,6 +34,48 @@ func FuzzUnmarshalBinary(f *testing.F) {
 		if again.ClientID != fr.ClientID || again.FrameNo != fr.FrameNo ||
 			again.Step != fr.Step || !bytes.Equal(again.Payload, fr.Payload) {
 			t.Fatal("re-encode round trip diverged")
+		}
+	})
+}
+
+// FuzzUnmarshalBinaryNoCopy pins the aliasing decoder to the copying
+// one: on any input both must agree on accept/reject and on every
+// decoded field, and an aliased payload must lie entirely inside the
+// input buffer — never before, past, or outside it.
+func FuzzUnmarshalBinaryNoCopy(f *testing.F) {
+	seed, err := sampleFrame().MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	span, err := spanFrame().MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(span)
+	f.Add([]byte{})
+	f.Add([]byte{0x5c, 0xa7, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var copied, aliased Frame
+		errCopy := copied.UnmarshalBinary(data)
+		errAlias := aliased.UnmarshalBinaryNoCopy(data)
+		if (errCopy == nil) != (errAlias == nil) {
+			t.Fatalf("decoders disagree: copy=%v nocopy=%v", errCopy, errAlias)
+		}
+		if errCopy != nil {
+			return
+		}
+		if !reflect.DeepEqual(copied, aliased) {
+			t.Fatalf("decoded frames diverged:\ncopy:  %+v\nalias: %+v", copied, aliased)
+		}
+		if len(aliased.Payload) > 0 {
+			start := uintptr(unsafe.Pointer(&data[0]))
+			end := start + uintptr(len(data))
+			p := uintptr(unsafe.Pointer(&aliased.Payload[0]))
+			if p < start || p+uintptr(len(aliased.Payload)) > end {
+				t.Fatalf("aliased payload [%#x,%#x) escapes input buffer [%#x,%#x)",
+					p, p+uintptr(len(aliased.Payload)), start, end)
+			}
 		}
 	})
 }

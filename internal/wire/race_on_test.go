@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled skips the allocation-budget regression tests under the
+// race detector, which instruments allocations and breaks AllocsPerRun
+// accounting.
+const raceEnabled = true

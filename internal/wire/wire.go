@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"slices"
 )
 
 // Step identifies the pipeline stage a frame is currently traversing.
@@ -140,37 +141,61 @@ var (
 	ErrTooLarge    = errors.New("wire: field exceeds limit")
 )
 
-// MarshalBinary encodes the frame.
-func (f *Frame) MarshalBinary() ([]byte, error) {
-	if len(f.Payload) > maxPayload {
-		return nil, fmt.Errorf("%w: payload %d bytes", ErrTooLarge, len(f.Payload))
-	}
-	if len(f.Stages) > maxStages {
-		return nil, fmt.Errorf("%w: %d stage records", ErrTooLarge, len(f.Stages))
-	}
-	if len(f.Spans) > maxSpans {
-		return nil, fmt.Errorf("%w: %d span records", ErrTooLarge, len(f.Spans))
+// maxAddrBytes sizes the encoder's single up-front grow for the common
+// address encodings (16-byte IPv6 + 2-byte port); rare zoned addresses
+// may grow once more.
+const maxAddrBytes = 18
+
+// EncodedSize returns the exact number of bytes MarshalBinary would
+// produce for a zone-free address, and a conservative lower bound
+// otherwise — callers use it to size pooled buffers.
+func (f *Frame) EncodedSize() int {
+	addr := 0
+	if f.ClientAddr.IsValid() {
+		if f.ClientAddr.Addr().Is4() {
+			addr = 6
+		} else {
+			addr = maxAddrBytes + len(f.ClientAddr.Addr().Zone())
+		}
 	}
 	spanBytes := 0
+	if len(f.Spans) > 0 {
+		spanBytes = 2
+		for _, s := range f.Spans {
+			spanBytes += 3 + len(s.Host) + 24
+		}
+	}
+	return fixedHdrBytes + addr + 1 + len(f.Stages)*9 + spanBytes + 4 + len(f.Payload)
+}
+
+// MarshalBinary encodes the frame into a freshly allocated buffer. The
+// hot path uses AppendBinary with a pooled buffer instead.
+func (f *Frame) MarshalBinary() ([]byte, error) {
+	return f.AppendBinary(nil)
+}
+
+// AppendBinary is the core encoder: it validates the frame, appends its
+// encoding to buf, and returns the extended buffer. When buf has enough
+// spare capacity (see EncodedSize) the call performs zero allocations,
+// so a worker re-encoding frames in steady state produces no garbage.
+// On error buf is returned unmodified.
+func (f *Frame) AppendBinary(buf []byte) ([]byte, error) {
+	if len(f.Payload) > maxPayload {
+		return buf, fmt.Errorf("%w: payload %d bytes", ErrTooLarge, len(f.Payload))
+	}
+	if len(f.Stages) > maxStages {
+		return buf, fmt.Errorf("%w: %d stage records", ErrTooLarge, len(f.Stages))
+	}
+	if len(f.Spans) > maxSpans {
+		return buf, fmt.Errorf("%w: %d span records", ErrTooLarge, len(f.Spans))
+	}
 	for _, s := range f.Spans {
 		if len(s.Host) > maxSpanHost {
-			return nil, fmt.Errorf("%w: span host %d bytes", ErrTooLarge, len(s.Host))
+			return buf, fmt.Errorf("%w: span host %d bytes", ErrTooLarge, len(s.Host))
 		}
-		spanBytes += 3 + len(s.Host) + 24
 	}
-	var addr []byte
-	if f.ClientAddr.IsValid() {
-		b, err := f.ClientAddr.MarshalBinary()
-		if err != nil {
-			return nil, fmt.Errorf("wire: marshal addr: %w", err)
-		}
-		addr = b
-	}
-	if len(addr) > 255 {
-		return nil, fmt.Errorf("%w: address %d bytes", ErrTooLarge, len(addr))
-	}
-	size := fixedHdrBytes + len(addr) + 1 + len(f.Stages)*9 + 2 + spanBytes + 4 + len(f.Payload)
-	buf := make([]byte, 0, size)
+	base := len(buf)
+	buf = slices.Grow(buf, f.EncodedSize())
 	buf = binary.BigEndian.AppendUint16(buf, magic)
 	buf = append(buf, version)
 	buf = binary.BigEndian.AppendUint32(buf, f.ClientID)
@@ -185,8 +210,23 @@ func (f *Frame) MarshalBinary() ([]byte, error) {
 	}
 	buf = append(buf, flags)
 	buf = binary.BigEndian.AppendUint64(buf, f.CaptureMicros)
-	buf = append(buf, byte(len(addr)))
-	buf = append(buf, addr...)
+	// The address length byte is patched after the netip append, so the
+	// wire format stays byte-identical to netip's own binary encoding
+	// without marshalling into a temporary.
+	lenOff := len(buf)
+	buf = append(buf, 0)
+	if f.ClientAddr.IsValid() {
+		grown, err := f.ClientAddr.AppendBinary(buf)
+		if err != nil {
+			return buf[:base], fmt.Errorf("wire: marshal addr: %w", err)
+		}
+		n := len(grown) - lenOff - 1
+		if n > 255 {
+			return buf[:base], fmt.Errorf("%w: address %d bytes", ErrTooLarge, n)
+		}
+		grown[lenOff] = byte(n)
+		buf = grown
+	}
 	buf = append(buf, byte(len(f.Stages)))
 	for _, s := range f.Stages {
 		buf = append(buf, byte(s.Step))
@@ -211,7 +251,28 @@ func (f *Frame) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary decodes a frame previously produced by MarshalBinary.
 // The payload is copied out of data, so the caller may reuse its buffer.
+// Decoding into a frame that already has Payload/Stages/Spans capacity
+// (e.g. one recycled through a FramePool) reuses it and allocates only
+// for span host strings.
 func (f *Frame) UnmarshalBinary(data []byte) error {
+	return f.unmarshal(data, true)
+}
+
+// UnmarshalBinaryNoCopy decodes like UnmarshalBinary but aliases
+// f.Payload into data instead of copying it out.
+//
+// Buffer-ownership contract: data must stay alive and unmodified for as
+// long as f.Payload is in use. Transport receive buffers are only
+// borrowed for the duration of a Handler call (see transport.Handler),
+// so a handler using this mode must finish with the payload — or copy
+// it — before returning. A frame holding an aliased payload must not be
+// recycled through a FramePool (Put would retain the alias as reusable
+// capacity); drop it or set Payload to nil first.
+func (f *Frame) UnmarshalBinaryNoCopy(data []byte) error {
+	return f.unmarshal(data, false)
+}
+
+func (f *Frame) unmarshal(data []byte, copyPayload bool) error {
 	r := reader{buf: data}
 	m, err := r.u16()
 	if err != nil {
@@ -344,7 +405,11 @@ func (f *Frame) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
-	f.Payload = append(f.Payload[:0], pay...)
+	if copyPayload || len(pay) == 0 {
+		f.Payload = append(f.Payload[:0], pay...)
+	} else {
+		f.Payload = pay
+	}
 	return nil
 }
 
@@ -366,13 +431,43 @@ func (f *Frame) AddSpan(s SpanRecord) {
 	f.Spans = append(f.Spans, s)
 }
 
-// Clone returns a deep copy of the frame.
+// Clone returns a deep copy of the frame. Slices are allocated at their
+// exact lengths in one pass (no append growth, nil stays nil). Clone is
+// reserved for genuine fan-out — duplicating a frame to two downstream
+// consumers; the worker hot path re-encodes in place and never clones
+// (see DESIGN.md "Buffer ownership & pooling").
 func (f *Frame) Clone() *Frame {
 	out := *f
-	out.Payload = append([]byte(nil), f.Payload...)
-	out.Stages = append([]StageRecord(nil), f.Stages...)
-	out.Spans = append([]SpanRecord(nil), f.Spans...)
+	if f.Payload != nil {
+		out.Payload = make([]byte, len(f.Payload))
+		copy(out.Payload, f.Payload)
+	}
+	if f.Stages != nil {
+		out.Stages = make([]StageRecord, len(f.Stages))
+		copy(out.Stages, f.Stages)
+	}
+	if f.Spans != nil {
+		out.Spans = make([]SpanRecord, len(f.Spans))
+		copy(out.Spans, f.Spans)
+	}
 	return &out
+}
+
+// CloneInto deep-copies f into dst, reusing dst's Payload/Stages/Spans
+// capacity — the zero-allocation fan-out path for pooled frames.
+func (f *Frame) CloneInto(dst *Frame) {
+	payload, stages, spans := dst.Payload, dst.Stages, dst.Spans
+	*dst = *f
+	dst.Payload = append(payload[:0], f.Payload...)
+	dst.Stages = append(stages[:0], f.Stages...)
+	dst.Spans = append(spans[:0], f.Spans...)
+}
+
+// Reset clears the frame for reuse, keeping Payload/Stages/Spans capacity
+// so the next decode or clone into it does not reallocate.
+func (f *Frame) Reset() {
+	payload, stages, spans := f.Payload[:0], f.Stages[:0], f.Spans[:0]
+	*f = Frame{Payload: payload, Stages: stages, Spans: spans}
 }
 
 // reader is a bounds-checked big-endian cursor.

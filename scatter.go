@@ -190,6 +190,16 @@ type (
 	// TCPOptions tune the framed TCP endpoint's failure behaviour
 	// (write deadlines, dial timeout, retry budget).
 	TCPOptions = transport.TCPOptions
+	// ConnStats are the UDP endpoint's cumulative receive-path counters
+	// (reassemblies completed, expired, refused at the table bounds,
+	// malformed fragments).
+	ConnStats = transport.ConnStats
+	// FramePool recycles Frame envelopes for the zero-allocation data
+	// plane (see DESIGN.md "Buffer ownership & pooling").
+	FramePool = wire.FramePool
+	// BufPool recycles byte buffers for encode scratch and transport
+	// reads; Put never allocates.
+	BufPool = wire.BufPool
 	// Deployer bridges orchestrator scheduling hooks to live workers and
 	// keeps a StaticRouter in sync with the placement, so failure-driven
 	// migrations reroute frames.
