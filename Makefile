@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-vision bench-dataplane fuzz figures examples chaos clean
+.PHONY: all build vet test race cover bench bench-vision bench-dataplane bench-batching fuzz figures examples chaos clean
 
 all: build test
 
@@ -46,6 +46,14 @@ bench-dataplane:
 	$(GO) test -run '^$$' -bench 'WorkerHop|DataplaneEncode|Marshal|Unmarshal|Clone|Send180KB' -benchmem \
 		./internal/agent ./internal/wire ./internal/transport \
 		| $(GO) run ./cmd/benchjson -o BENCH_dataplane.json -note "make bench-dataplane"
+
+# Micro-batching headline: sustained frames/sec per worker at saturation
+# for batch sizes 1/4/16 at the paper's 180 KiB frame, at 1/4/8 cores,
+# exported to BENCH_batching.json (batch1 is the per-frame baseline;
+# frames/sec = 1e9 / ns_per_op).
+bench-batching:
+	$(GO) test -run '^$$' -bench 'WorkerHopBatched' -benchmem -cpu 1,4,8 ./internal/agent \
+		| $(GO) run ./cmd/benchjson -o BENCH_batching.json -note "make bench-batching"
 
 # Smoke-runs every vision kernel benchmark once at 1, 4, and 8 cores.
 # Worker pools size themselves from GOMAXPROCS, so each -cpu row measures

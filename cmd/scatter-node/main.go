@@ -23,15 +23,17 @@
 //	  },
 //	  "obs_listen": "127.0.0.1:9100",
 //	  "trace_spans": true,
+//	  "batch_max": 4, "batch_slack_ms": 10,
 //	  "fault": {"packet_loss": 0.01, "delay_ms": 5, "seed": 42}
 //	}
 //
 // obs_listen serves live telemetry (/metrics, /metrics.json, /healthz,
 // /debug/vars, /debug/pprof); trace_spans stamps per-service spans onto
-// frames for end-to-end trace reconstruction at the client; fault (all
-// fields optional) injects drops, compounding per-fragment loss, delay,
-// jitter, and duplication on this node's outbound traffic for chaos
-// experiments.
+// frames for end-to-end trace reconstruction at the client; batch_max
+// and batch_slack_ms arm the deadline-aware micro-batching former on
+// every batch-capable service; fault (all fields optional) injects
+// drops, compounding per-fragment loss, delay, jitter, and duplication
+// on this node's outbound traffic for chaos experiments.
 //
 // Split deployments run scatter-node on several machines with routes
 // pointing across hosts, exactly as the paper pins services to E1/E2.
@@ -111,6 +113,14 @@ type nodeConfig struct {
 	// Fault, when set, wraps every worker's endpoint in a fault injector
 	// applying the policy to all outbound traffic from this node.
 	Fault *faultSpec `json:"fault,omitempty"`
+	// BatchMax enables deadline-aware micro-batching on every service
+	// whose processor supports batch dispatch: the sidecar coalesces up to
+	// this many queued frames per dispatch. 0 or 1 disables batching.
+	BatchMax int `json:"batch_max,omitempty"`
+	// BatchSlackMs is how much of the latency threshold the batch former
+	// reserves: it flushes a partial batch once the oldest frame's
+	// remaining budget drops to this slack. Default 10ms when batching.
+	BatchSlackMs int `json:"batch_slack_ms,omitempty"`
 }
 
 // telemetryDigest converts the node's live registry digest into the
@@ -269,6 +279,8 @@ func main() {
 			Obs:            reg,
 			Host:           hostLabel,
 			TraceSpans:     cfg.TraceSpans,
+			BatchMax:       cfg.BatchMax,
+			BatchSlack:     time.Duration(cfg.BatchSlackMs) * time.Millisecond,
 		})
 		if err != nil {
 			log.Error("start worker", "service", svc.Step, "err", err)

@@ -2,7 +2,9 @@ package agent
 
 import (
 	"net"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/edge-mar/scatter/internal/core"
 	"github.com/edge-mar/scatter/internal/wire"
@@ -75,4 +77,221 @@ func TestWorkerHopAllocBudget(t *testing.T) {
 	if st := w.Stats(); st.Errors > 0 || st.DroppedQueue > 0 || st.DroppedThreshold > 0 {
 		t.Fatalf("worker dropped or errored: %+v", st)
 	}
+}
+
+// countingFramePool wraps wire.FramePool with ownership accounting: it
+// tracks which envelopes are checked out and flags a Put of a frame that
+// is not (double release) alongside the Get/Put balance.
+type countingFramePool struct {
+	mu     sync.Mutex
+	pool   wire.FramePool
+	gets   int
+	puts   int
+	badPut int
+	out    map[*wire.Frame]bool
+}
+
+func newCountingFramePool() *countingFramePool {
+	return &countingFramePool{out: make(map[*wire.Frame]bool)}
+}
+
+func (p *countingFramePool) Get() *wire.Frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fr := p.pool.Get()
+	p.gets++
+	p.out[fr] = true
+	return fr
+}
+
+func (p *countingFramePool) Put(fr *wire.Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.puts++
+	if !p.out[fr] {
+		p.badPut++
+	}
+	delete(p.out, fr)
+	p.pool.Put(fr)
+}
+
+// verify asserts every checked-out envelope came back exactly once.
+func (p *countingFramePool) verify(t *testing.T) {
+	t.Helper()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.badPut > 0 {
+		t.Errorf("%d frames released twice (or never checked out)", p.badPut)
+	}
+	if p.gets != p.puts {
+		t.Errorf("frame pool imbalance: %d gets, %d puts, %d outstanding",
+			p.gets, p.puts, len(p.out))
+	}
+}
+
+// waitStats polls until cond passes or the deadline expires, returning
+// the final snapshot either way.
+func waitStats(w *Worker, cond func(WorkerStats) bool) WorkerStats {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := w.Stats()
+		if cond(st) || time.Now().After(deadline) {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestBatchFramePoolReleaseOnAllExits drives a batching worker through
+// its three envelope exits — processed, threshold-drop at dispatch, and
+// shutdown-drain — and asserts every frame in every formed batch is
+// released to the pool exactly once.
+func TestBatchFramePoolReleaseOnAllExits(t *testing.T) {
+	t.Run("processed", func(t *testing.T) {
+		pool := newCountingFramePool()
+		delivered := make(chan struct{}, 32)
+		sink, err := listenEndpoint("udp", "127.0.0.1:0", func(data []byte, from net.Addr) {
+			delivered <- struct{}{}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sink.Close()
+		w, err := StartWorker(WorkerConfig{
+			Step:       wire.StepPrimary,
+			Mode:       core.ModeScatterPP,
+			Processor:  &batchHopProcessor{step: wire.StepPrimary},
+			ListenAddr: "127.0.0.1:0",
+			Router:     NewStaticRouter(nil),
+			BatchMax:   4,
+			BatchSlack: 90 * time.Millisecond, // flush almost immediately
+			framePool:  pool,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := listenEndpoint("udp", "127.0.0.1:0", func([]byte, net.Addr) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		fr := sinkBoundFrame(t, sink.LocalAddr(), 4<<10)
+		data, err := fr.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 12
+		for i := 0; i < n; i++ {
+			if err := src.SendToAddr(w.Addr(), data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			<-delivered
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		pool.verify(t)
+		if st := w.Stats(); st.Processed != n {
+			t.Errorf("processed %d frames, want %d (%+v)", st.Processed, n, st)
+		}
+	})
+
+	t.Run("threshold-drop", func(t *testing.T) {
+		pool := newCountingFramePool()
+		sink, err := listenEndpoint("udp", "127.0.0.1:0", func([]byte, net.Addr) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sink.Close()
+		w, err := StartWorker(WorkerConfig{
+			Step:       wire.StepPrimary,
+			Mode:       core.ModeScatterPP,
+			Processor:  &batchHopProcessor{step: wire.StepPrimary, delay: 120 * time.Millisecond},
+			ListenAddr: "127.0.0.1:0",
+			Router:     NewStaticRouter(nil),
+			Threshold:  40 * time.Millisecond,
+			BatchMax:   4,
+			framePool:  pool,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := listenEndpoint("udp", "127.0.0.1:0", func([]byte, net.Addr) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		fr := sinkBoundFrame(t, sink.LocalAddr(), 4<<10)
+		data, err := fr.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 12
+		for i := 0; i < n; i++ {
+			if err := src.SendToAddr(w.Addr(), data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := waitStats(w, func(st WorkerStats) bool {
+			return st.Processed+st.DroppedThreshold == n
+		})
+		if st.DroppedThreshold == 0 {
+			t.Errorf("slow batches produced no threshold drops: %+v", st)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		pool.verify(t)
+	})
+
+	t.Run("shutdown-drain", func(t *testing.T) {
+		pool := newCountingFramePool()
+		sink, err := listenEndpoint("udp", "127.0.0.1:0", func([]byte, net.Addr) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sink.Close()
+		w, err := StartWorker(WorkerConfig{
+			Step:       wire.StepPrimary,
+			Mode:       core.ModeScatterPP,
+			Processor:  &batchHopProcessor{step: wire.StepPrimary},
+			ListenAddr: "127.0.0.1:0",
+			Router:     NewStaticRouter(nil),
+			Threshold:  time.Second, // gather window ≈ 990ms: frames wait in the former
+			BatchMax:   64,
+			QueueCap:   64,
+			framePool:  pool,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := listenEndpoint("udp", "127.0.0.1:0", func([]byte, net.Addr) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		fr := sinkBoundFrame(t, sink.LocalAddr(), 4<<10)
+		data, err := fr.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 5
+		for i := 0; i < n; i++ {
+			if err := src.SendToAddr(w.Addr(), data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		waitStats(w, func(st WorkerStats) bool { return st.Received == n })
+		time.Sleep(20 * time.Millisecond) // let the former gather
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		pool.verify(t)
+		if st := w.Stats(); st.DroppedShutdown != n {
+			t.Errorf("shutdown drops = %d, want %d (one per member frame; %+v)",
+				st.DroppedShutdown, n, st)
+		}
+	})
 }

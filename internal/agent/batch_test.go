@@ -1,0 +1,307 @@
+package agent
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/obs"
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+// batchHopProcessor is a BatchHandler stub: like hopProcessor it marks
+// every frame done, but it also records the size of each batch it
+// receives and can inject a fixed per-dispatch delay to simulate a slow
+// service.
+type batchHopProcessor struct {
+	step  wire.Step
+	delay time.Duration
+
+	mu    sync.Mutex
+	sizes []int
+}
+
+func (p *batchHopProcessor) Step() wire.Step { return p.step }
+
+func (p *batchHopProcessor) Process(fr *wire.Frame) error {
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	p.record(1)
+	fr.Step = wire.StepDone
+	return nil
+}
+
+func (p *batchHopProcessor) ProcessBatch(frs []*wire.Frame) []error {
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	p.record(len(frs))
+	for _, fr := range frs {
+		fr.Step = wire.StepDone
+	}
+	return make([]error, len(frs))
+}
+
+func (p *batchHopProcessor) record(n int) {
+	p.mu.Lock()
+	p.sizes = append(p.sizes, n)
+	p.mu.Unlock()
+}
+
+func (p *batchHopProcessor) batchSizes() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]int(nil), p.sizes...)
+}
+
+// TestBatchNeverAdmitsPastThreshold is the acceptance regression for the
+// batch former's latency contract: with a processor slow enough that a
+// dispatch outlives the threshold, frames stuck behind it must be
+// threshold-dropped at dispatch, never processed. Every frame that does
+// reach the sink carries its worker-recorded queue wait in its stage
+// record, so the contract is checked on the delivered evidence, not just
+// worker counters.
+func TestBatchNeverAdmitsPastThreshold(t *testing.T) {
+	const threshold = 40 * time.Millisecond
+	var mu sync.Mutex
+	var waits []time.Duration
+	sink, err := listenEndpoint("udp", "127.0.0.1:0", func(data []byte, from net.Addr) {
+		var fr wire.Frame
+		if err := fr.UnmarshalBinary(data); err != nil {
+			return
+		}
+		for _, s := range fr.Stages {
+			mu.Lock()
+			waits = append(waits, time.Duration(s.QueueMicros)*time.Microsecond)
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	w, err := StartWorker(WorkerConfig{
+		Step:       wire.StepPrimary,
+		Mode:       core.ModeScatterPP,
+		Processor:  &batchHopProcessor{step: wire.StepPrimary, delay: 100 * time.Millisecond},
+		ListenAddr: "127.0.0.1:0",
+		Router:     NewStaticRouter(nil),
+		Threshold:  threshold,
+		BatchMax:   4,
+		QueueCap:   32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	src, err := listenEndpoint("udp", "127.0.0.1:0", func([]byte, net.Addr) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	fr := sinkBoundFrame(t, sink.LocalAddr(), 4<<10)
+	data, err := fr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for i := 0; i < n; i++ {
+		if err := src.SendToAddr(w.Addr(), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := waitStats(w, func(st WorkerStats) bool {
+		return st.Processed+st.DroppedThreshold+st.DroppedQueue == n
+	})
+	if st.Processed+st.DroppedThreshold+st.DroppedQueue != n {
+		t.Fatalf("frames unaccounted for: %+v", st)
+	}
+	if st.DroppedThreshold == 0 {
+		t.Errorf("100ms dispatches against a 40ms threshold produced no threshold drops: %+v", st)
+	}
+	if st.Processed == 0 {
+		t.Errorf("nothing was processed: %+v", st)
+	}
+	time.Sleep(20 * time.Millisecond) // let in-flight deliveries land
+	mu.Lock()
+	defer mu.Unlock()
+	if len(waits) == 0 {
+		t.Fatal("no delivered frames carried stage records")
+	}
+	for _, wait := range waits {
+		if wait > threshold {
+			t.Errorf("delivered frame waited %v in the former, over the %v threshold", wait, threshold)
+		}
+	}
+}
+
+// TestBatchShutdownDropSpans verifies satellite accounting: a batch
+// abandoned in the former at Close counts every member frame in
+// DroppedShutdown and emits one shutdown-outcome span per frame, not one
+// per batch.
+func TestBatchShutdownDropSpans(t *testing.T) {
+	rec := obs.NewRecorder(0)
+	sink, err := listenEndpoint("udp", "127.0.0.1:0", func([]byte, net.Addr) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	w, err := StartWorker(WorkerConfig{
+		Step:       wire.StepPrimary,
+		Mode:       core.ModeScatterPP,
+		Processor:  &batchHopProcessor{step: wire.StepPrimary},
+		ListenAddr: "127.0.0.1:0",
+		Router:     NewStaticRouter(nil),
+		Threshold:  time.Second, // ≈990ms gather window keeps frames in the former
+		BatchMax:   64,
+		QueueCap:   64,
+		TraceSpans: true,
+		Spans:      rec,
+		Host:       "E1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := listenEndpoint("udp", "127.0.0.1:0", func([]byte, net.Addr) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	fr := sinkBoundFrame(t, sink.LocalAddr(), 4<<10)
+	data, err := fr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := src.SendToAddr(w.Addr(), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitStats(w, func(st WorkerStats) bool { return st.Received == n })
+	time.Sleep(20 * time.Millisecond) // let the former gather all five
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.DroppedShutdown != n {
+		t.Errorf("DroppedShutdown = %d, want %d (every member frame)", st.DroppedShutdown, n)
+	}
+	var shutdownSpans int
+	for _, s := range rec.Spans() {
+		if s.Outcome == obs.OutcomeShutdown {
+			shutdownSpans++
+		}
+	}
+	if shutdownSpans != n {
+		t.Errorf("%d shutdown spans, want %d (one per frame)", shutdownSpans, n)
+	}
+}
+
+// TestBatchStatsAndObsSeries checks that batching feeds the worker's own
+// counters, the live registry's batch series, and the span stream: sizes
+// observed by the processor, Stats().Batches/BatchedFrames, registry
+// batch instruments, and "/batch" dispatch spans must all agree.
+func TestBatchStatsAndObsSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(0)
+	proc := &batchHopProcessor{step: wire.StepPrimary}
+	delivered := make(chan struct{}, 64)
+	sink, err := listenEndpoint("udp", "127.0.0.1:0", func([]byte, net.Addr) {
+		delivered <- struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	w, err := StartWorker(WorkerConfig{
+		Step:       wire.StepPrimary,
+		Mode:       core.ModeScatterPP,
+		Processor:  proc,
+		ListenAddr: "127.0.0.1:0",
+		Router:     NewStaticRouter(nil),
+		BatchMax:   4,
+		BatchSlack: 95 * time.Millisecond, // ≈5ms gather window
+		QueueCap:   32,
+		Obs:        reg,
+		TraceSpans: true,
+		Spans:      rec,
+		Host:       "E1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	src, err := listenEndpoint("udp", "127.0.0.1:0", func([]byte, net.Addr) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	fr := sinkBoundFrame(t, sink.LocalAddr(), 4<<10)
+	data, err := fr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	for i := 0; i < n; i++ {
+		if err := src.SendToAddr(w.Addr(), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		<-delivered
+	}
+
+	st := w.Stats()
+	if st.Processed != n {
+		t.Fatalf("processed %d, want %d (%+v)", st.Processed, n, st)
+	}
+	if st.Batches == 0 || st.BatchedFrames != n {
+		t.Errorf("Stats: %d batches carrying %d frames, want >0 carrying %d",
+			st.Batches, st.BatchedFrames, n)
+	}
+	sizes := proc.batchSizes()
+	var viaBatches int
+	for _, s := range sizes {
+		viaBatches += s
+	}
+	if uint64(len(sizes)) != st.Batches || uint64(viaBatches) != st.BatchedFrames {
+		t.Errorf("processor saw %d dispatches/%d frames, stats say %d/%d",
+			len(sizes), viaBatches, st.Batches, st.BatchedFrames)
+	}
+
+	m := reg.Service(wire.StepPrimary.String())
+	if m.Batches.Value() != st.Batches || m.BatchFrames.Value() != st.BatchedFrames {
+		t.Errorf("registry batch series (%d, %d) disagrees with stats (%d, %d)",
+			m.Batches.Value(), m.BatchFrames.Value(), st.Batches, st.BatchedFrames)
+	}
+	if m.BatchWait.Count() != st.Batches {
+		t.Errorf("batch wait histogram has %d samples, want %d", m.BatchWait.Count(), st.Batches)
+	}
+	var d obs.ServiceDigest
+	for _, sd := range reg.Digest() {
+		if sd.Service == wire.StepPrimary.String() {
+			d = sd
+		}
+	}
+	if d.Batches == 0 || d.MeanBatch <= 0 {
+		t.Errorf("digest missing batch summary: %+v", d)
+	}
+
+	var batchSpans, batchFrames int
+	for _, s := range rec.Spans() {
+		if strings.HasSuffix(s.Service, "/batch") {
+			batchSpans++
+			batchFrames += int(s.FrameNo)
+		}
+	}
+	if uint64(batchSpans) != st.Batches || uint64(batchFrames) != st.BatchedFrames {
+		t.Errorf("span stream has %d dispatch spans/%d frames, stats say %d/%d",
+			batchSpans, batchFrames, st.Batches, st.BatchedFrames)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/metrics"
+	"github.com/edge-mar/scatter/internal/obs"
+	"github.com/edge-mar/scatter/internal/testbed"
+)
+
+func TestBatchOptionDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.BatchMax != 1 {
+		t.Errorf("BatchMax default = %d, want 1 (batching off)", o.BatchMax)
+	}
+	if o.BatchSlack != 10*time.Millisecond {
+		t.Errorf("BatchSlack default = %v, want 10ms", o.BatchSlack)
+	}
+}
+
+func TestProfileSetupValidation(t *testing.T) {
+	ps := DefaultProfiles()
+	ps[2].CPUSetup = ps[2].CPUTime + time.Millisecond
+	if err := ps.Validate(); err == nil {
+		t.Error("setup exceeding phase time validated")
+	}
+	ps = DefaultProfiles()
+	ps[2].GPUSetup = -time.Millisecond
+	if err := ps.Validate(); err == nil {
+		t.Error("negative setup validated")
+	}
+	if !DefaultProfiles()[2].Batchable() {
+		t.Error("encoding profile should be batchable")
+	}
+	if DefaultProfiles()[0].Batchable() {
+		t.Error("primary profile should not be batchable")
+	}
+}
+
+// Batching amortizes the setup component of batchable stages, so a
+// saturated deployment sustains more delivered frames than the same
+// deployment dispatching frame by frame.
+func TestBatchingRaisesSaturatedThroughput(t *testing.T) {
+	run := func(batchMax int) metrics.Summary {
+		e := newEnv(31)
+		p := NewPipeline(e.eng, e.fabric, e.col, PlaceAll(e.e1), DefaultProfiles(),
+			Options{Mode: ModeScatterPP, BatchMax: batchMax})
+		return e.run(p, 8, 20*time.Second)
+	}
+	serial := run(1)
+	batched := run(8)
+	if batched.FPSPerClient <= serial.FPSPerClient {
+		t.Errorf("batched FPS %.2f <= serial %.2f at saturation; batching should amortize setup",
+			batched.FPSPerClient, serial.FPSPerClient)
+	}
+}
+
+// The batch former must preserve threshold-drop semantics: no frame is
+// ever admitted to processing after waiting past the latency budget, and
+// waiting for a batch to fill never pushes the oldest member over it.
+func TestBatchFormerRespectsThreshold(t *testing.T) {
+	e := newEnv(32)
+	p := NewPipeline(e.eng, e.fabric, e.col, PlaceAll(e.e1), DefaultProfiles(),
+		Options{Mode: ModeScatterPP, BatchMax: 16, BatchSlack: 20 * time.Millisecond})
+	rec := obs.NewRecorder(0)
+	p.SetTracer(rec)
+	e.run(p, 8, 20*time.Second)
+
+	var batchSpans, multiFrame int
+	for _, s := range rec.Spans() {
+		if strings.HasSuffix(s.Service, "/batch") {
+			batchSpans++
+			if s.FrameNo >= 2 {
+				multiFrame++
+			}
+			continue
+		}
+		if s.Outcome == obs.OutcomeOK && s.Queue > p.Options().Threshold {
+			t.Fatalf("%s admitted a frame after %v in queue (threshold %v)",
+				s.Service, s.Queue, p.Options().Threshold)
+		}
+	}
+	if batchSpans == 0 {
+		t.Error("no batch spans recorded under saturation")
+	}
+	if multiFrame == 0 {
+		t.Error("no multi-frame batches formed under saturation")
+	}
+}
+
+// A slack at or above the threshold collapses the former to
+// flush-immediately: everything still flows and nothing waits.
+func TestBatchSlackAboveThresholdFlushesImmediately(t *testing.T) {
+	e := newEnv(33)
+	p := NewPipeline(e.eng, e.fabric, e.col, PlaceAll(e.e1), DefaultProfiles(),
+		Options{Mode: ModeScatterPP, BatchMax: 8, BatchSlack: 200 * time.Millisecond})
+	s := e.run(p, 2, 10*time.Second)
+	if s.FPSPerClient < 10 {
+		t.Errorf("degenerate slack FPS = %.1f, want flowing pipeline", s.FPSPerClient)
+	}
+}
+
+func TestComputeTimeBatchModel(t *testing.T) {
+	eng := newEnv(34).eng
+	m := testbed.NewMachine(testbed.MachineConfig{
+		Name: "flat", CPUCores: 4, GPUs: 1, MemBytes: 8 << 30,
+		CPUFactor: 1, GPUFactor: 1,
+	}, eng)
+	base, setup := 10*time.Millisecond, 4*time.Millisecond
+	if got, want := m.ComputeTimeBatch(base, setup, 1, false), m.ComputeTime(base, false); got != want {
+		t.Errorf("n=1 batch time %v, want ComputeTime %v", got, want)
+	}
+	if got, want := m.ComputeTimeBatch(base, setup, 4, false), setup+4*(base-setup); got != want {
+		t.Errorf("n=4 batch time %v, want setup+4*marginal = %v", got, want)
+	}
+	// Setup is clamped into [0, base]: an over-long setup degenerates to
+	// one full base cost for the whole batch.
+	if got := m.ComputeTimeBatch(base, 2*base, 3, false); got != base {
+		t.Errorf("over-long setup: got %v, want clamped %v", got, base)
+	}
+	if got, want := m.ComputeTimeBatch(base, -time.Millisecond, 2, false), 2*base; got != want {
+		t.Errorf("negative setup: got %v, want %v", got, want)
+	}
+}

@@ -67,6 +67,17 @@ type Options struct {
 	// when reliable).
 	ReliableTransport bool
 	Retries           int
+	// BatchMax caps how many queued frames a scAtteR++ sidecar coalesces
+	// into one dispatch at services whose profile declares a setup
+	// component (ServiceProfile.Batchable). 1 (the default) disables
+	// batching.
+	BatchMax int
+	// BatchSlack is the flush margin of the batch former: a forming
+	// batch is dispatched as soon as the oldest member's remaining
+	// latency budget (Threshold minus queue wait) drops to this slack,
+	// so waiting for more frames can never push a frame past its
+	// threshold. Default 10 ms.
+	BatchSlack time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +104,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ReliableTransport && o.Retries <= 0 {
 		o.Retries = 3
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 1
+	}
+	if o.BatchSlack <= 0 {
+		o.BatchSlack = 10 * time.Millisecond
 	}
 	return o
 }
@@ -174,6 +191,9 @@ type Instance struct {
 	busy   bool
 	queue  []queuedFrame
 	states map[stateKey]*stateEntry
+	// flush is the pending slack-deadline flush of a forming batch; nil
+	// when no batch is waiting for more frames.
+	flush *sim.Event
 
 	cpuBusy  time.Duration
 	gpuBusy  time.Duration
@@ -402,30 +422,60 @@ func (p *Pipeline) arrive(in *Instance, fr *simFrame) {
 }
 
 // kick dispatches the sidecar queue: it filters frames that exceeded the
-// latency threshold and starts the oldest admissible one if idle.
+// latency threshold and, if idle, either starts the oldest admissible
+// frame or — at batchable services with BatchMax > 1 — forms a batch,
+// waiting for more frames until the oldest member's remaining latency
+// budget drops to BatchSlack.
 func (in *Instance) kick() {
 	if in.busy {
 		return
 	}
 	p := in.p
+	// The sidecar's timing threshold applies to how long the request
+	// waited in this sidecar's queue: a frame that queued past the
+	// latency budget is no longer worth processing.
 	for len(in.queue) > 0 {
 		q := in.queue[0]
+		wait := p.eng.Now() - q.at
+		if wait <= p.opts.Threshold {
+			break
+		}
 		copy(in.queue, in.queue[1:])
 		in.queue = in.queue[:len(in.queue)-1]
-		// The sidecar's timing threshold applies to how long the request
-		// waited in this sidecar's queue: a frame that queued past the
-		// latency budget is no longer worth processing.
-		wait := p.eng.Now() - q.at
-		if wait > p.opts.Threshold {
-			p.col.ServiceDroppedAt(in.Name(), p.eng.Now())
-			p.col.FrameDropped(metrics.DropThreshold)
-			in.recordSpan(q.fr, q.at, p.eng.Now(), p.eng.Now(), obs.OutcomeThreshold)
-			continue
-		}
-		in.busy = true
-		in.start(q.fr, wait)
+		p.col.ServiceDroppedAt(in.Name(), p.eng.Now())
+		p.col.FrameDropped(metrics.DropThreshold)
+		in.recordSpan(q.fr, q.at, p.eng.Now(), p.eng.Now(), obs.OutcomeThreshold)
+	}
+	if len(in.queue) == 0 {
 		return
 	}
+	if p.opts.BatchMax > 1 && in.prof.Batchable() {
+		if len(in.queue) < p.opts.BatchMax {
+			// Not full yet: hold the batch open until the oldest frame's
+			// remaining budget hits the slack, then flush what we have.
+			deadline := in.queue[0].at + p.opts.Threshold - p.opts.BatchSlack
+			if p.eng.Now() < deadline {
+				if in.flush == nil {
+					in.flush = p.eng.At(deadline, func() {
+						in.flush = nil
+						in.kick()
+					})
+				}
+				return
+			}
+		}
+		n := len(in.queue)
+		if n > p.opts.BatchMax {
+			n = p.opts.BatchMax
+		}
+		in.startBatch(n)
+		return
+	}
+	q := in.queue[0]
+	copy(in.queue, in.queue[1:])
+	in.queue = in.queue[:len(in.queue)-1]
+	in.busy = true
+	in.start(q.fr, p.eng.Now()-q.at)
 }
 
 // start runs the service's compute phases for one frame: the CPU phase
@@ -466,6 +516,93 @@ func (in *Instance) runPhases(fr *simFrame, queueWait time.Duration, began sim.T
 			})
 		})
 	})
+}
+
+// startBatch dispatches the first n queued frames as one batch: the
+// service pays its setup cost once plus the marginal cost per frame
+// (testbed.ComputeTimeBatch), holding the CPU/GPU slots for the whole
+// batch window. One sidecar RPC carries the batch.
+func (in *Instance) startBatch(n int) {
+	p := in.p
+	if in.flush != nil {
+		in.flush.Cancel()
+		in.flush = nil
+	}
+	batch := make([]queuedFrame, n)
+	copy(batch, in.queue[:n])
+	in.queue = in.queue[:copy(in.queue, in.queue[n:])]
+	in.busy = true
+	began := p.eng.Now()
+	cpu := in.machine.ComputeTimeBatch(in.prof.CPUTime, in.prof.CPUSetup, n, false)
+	if p.opts.Mode == ModeScatterPP {
+		cpu += p.opts.SidecarOverhead
+	}
+	in.machine.CPU.Acquire(func() {
+		p.eng.After(cpu, func() {
+			in.machine.CPU.Release()
+			in.cpuBusy += cpu
+			if !in.prof.UsesGPU() {
+				in.finishBatch(batch, began)
+				return
+			}
+			gpu := in.machine.ComputeTimeBatch(in.prof.GPUTime, in.prof.GPUSetup, n, true)
+			in.machine.GPU.Acquire(func() {
+				p.eng.After(gpu, func() {
+					in.machine.GPU.Release()
+					in.gpuBusy += gpu
+					in.finishBatch(batch, began)
+				})
+			})
+		})
+	})
+}
+
+// finishBatch completes a batch dispatch: per-frame service metrics are
+// recorded with the amortized processing share (so service-latency
+// aggregates stay comparable to serial runs), per-frame spans carry the
+// full batch residency window, and one extra "<service>/batch" span
+// records the dispatch itself with the batch size in FrameNo.
+func (in *Instance) finishBatch(batch []queuedFrame, began sim.Time) {
+	p := in.p
+	now := p.eng.Now()
+	share := (now - began) / time.Duration(len(batch))
+	for _, q := range batch {
+		p.col.ServiceProcessed(in.Name(), began-q.at, share)
+		in.recordSpan(q.fr, q.at, began, now, obs.OutcomeOK)
+	}
+	if p.tracer != nil {
+		first := batch[0]
+		p.tracer.Record(obs.Span{
+			Service:   in.Name() + "/batch",
+			Host:      in.machine.Name(),
+			Step:      in.step,
+			ClientID:  first.fr.clientID,
+			FrameNo:   uint64(len(batch)),
+			EnqueueAt: first.at,
+			StartAt:   began,
+			EndAt:     now,
+			Queue:     began - first.at,
+			Proc:      now - began,
+			Outcome:   obs.OutcomeOK,
+		})
+	}
+	for _, q := range batch {
+		fr := q.fr
+		switch in.step {
+		case wire.StepSIFT:
+			if p.opts.Mode == ModeScatter {
+				in.storeState(fr)
+			} else {
+				fr.bytes = trace.FrameBytes(true)
+			}
+		case wire.StepMatching:
+			in.deliver(fr)
+			continue
+		}
+		next := p.route(in.step.Next(), fr.clientID)
+		p.send(in.machine.Name(), next, fr)
+	}
+	in.idle()
 }
 
 // finish records service metrics, forwards/delivers the frame, and frees

@@ -1,0 +1,67 @@
+package fisher
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Batched kernel contract: EncodeBatch shares one accumulator across the
+// batch but every output must be bit-identical to a serial Encode of the
+// same descriptor set.
+func TestEncodeBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	data := twoClusters(rng, 300, 16)
+	g, err := TrainGMM(data, 8, 10, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEncoder(g)
+	batch := [][][]float32{
+		data[:50],
+		data[50:51], // single descriptor
+		{},          // empty descriptor set mid-batch
+		data[51:200],
+		data[200:],
+	}
+	got := e.EncodeBatch(batch)
+	if len(got) != len(batch) {
+		t.Fatalf("EncodeBatch returned %d vectors, want %d", len(got), len(batch))
+	}
+	for b, descs := range batch {
+		want := e.Encode(descs)
+		if len(got[b]) != len(want) {
+			t.Fatalf("item %d: length %d, want %d", b, len(got[b]), len(want))
+		}
+		for i := range want {
+			if got[b][i] != want[i] {
+				t.Fatalf("item %d: fv[%d] = %v, serial %v", b, i, got[b][i], want[i])
+			}
+		}
+	}
+}
+
+func TestEncodeBatchSizeOneAndEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	data := twoClusters(rng, 120, 8)
+	g, err := TrainGMM(data, 4, 10, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEncoder(g)
+	one := e.EncodeBatch([][][]float32{data[:37]})
+	if len(one) != 1 {
+		t.Fatalf("batch of one returned %d vectors", len(one))
+	}
+	want := e.Encode(data[:37])
+	for i := range want {
+		if one[0][i] != want[i] {
+			t.Fatalf("batch of one: fv[%d] = %v, serial %v", i, one[0][i], want[i])
+		}
+	}
+	if out := e.EncodeBatch(nil); out != nil {
+		t.Fatalf("EncodeBatch(nil) = %v, want nil", out)
+	}
+	if out := e.EncodeBatch([][][]float32{}); out != nil {
+		t.Fatalf("EncodeBatch(empty) = %v, want nil", out)
+	}
+}

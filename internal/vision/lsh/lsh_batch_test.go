@@ -1,0 +1,92 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Batched kernel contract: every QueryBatch result must equal Query on
+// the same vector, element for element, for any k.
+func TestQueryBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ix := New(Config{Dim: 32, Tables: 6, Bits: 12, Probes: 2, Seed: 22, Workers: 4})
+	for i := 0; i < 300; i++ {
+		ix.Add(i, randomUnit(rng, 32))
+	}
+	queries := make([][]float32, 17)
+	for i := range queries {
+		queries[i] = randomUnit(rng, 32)
+	}
+	for _, k := range []int{1, 5, 1000} {
+		got := ix.QueryBatch(queries, k)
+		if len(got) != len(queries) {
+			t.Fatalf("k=%d: %d results, want %d", k, len(got), len(queries))
+		}
+		for q, v := range queries {
+			want := ix.Query(v, k)
+			if len(got[q]) != len(want) {
+				t.Fatalf("k=%d query %d: %d neighbors, serial %d", k, q, len(got[q]), len(want))
+			}
+			for i := range want {
+				if got[q][i] != want[i] {
+					t.Fatalf("k=%d query %d result %d: %+v, serial %+v", k, q, i, got[q][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Same contract above the bulk-hashing cutoff, where batch keys are
+// computed on the worker pool.
+func TestQueryBatchMatchesSerialBulkHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ix := New(Config{Dim: 1024, Tables: 8, Bits: 16, Seed: 23, Workers: 8})
+	for i := 0; i < 100; i++ {
+		ix.Add(i, randomUnit(rng, 1024))
+	}
+	queries := make([][]float32, 8)
+	for i := range queries {
+		queries[i] = randomUnit(rng, 1024)
+	}
+	got := ix.QueryBatch(queries, 7)
+	for q, v := range queries {
+		want := ix.Query(v, 7)
+		if len(got[q]) != len(want) {
+			t.Fatalf("query %d: %d neighbors, serial %d", q, len(got[q]), len(want))
+		}
+		for i := range want {
+			if got[q][i] != want[i] {
+				t.Fatalf("query %d result %d: %+v, serial %+v", q, i, got[q][i], want[i])
+			}
+		}
+	}
+}
+
+func TestQueryBatchSizeOneAndEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	ix := New(Config{Dim: 16, Tables: 4, Bits: 10, Seed: 24})
+	for i := 0; i < 80; i++ {
+		ix.Add(i, randomUnit(rng, 16))
+	}
+	v := randomUnit(rng, 16)
+	one := ix.QueryBatch([][]float32{v}, 5)
+	if len(one) != 1 {
+		t.Fatalf("batch of one returned %d results", len(one))
+	}
+	want := ix.Query(v, 5)
+	if len(one[0]) != len(want) {
+		t.Fatalf("batch of one: %d neighbors, serial %d", len(one[0]), len(want))
+	}
+	for i := range want {
+		if one[0][i] != want[i] {
+			t.Fatalf("batch of one result %d: %+v, serial %+v", i, one[0][i], want[i])
+		}
+	}
+	if out := ix.QueryBatch(nil, 5); len(out) != 0 {
+		t.Fatalf("QueryBatch(nil) = %v, want empty", out)
+	}
+	zero := ix.QueryBatch([][]float32{v}, 0)
+	if len(zero) != 1 || zero[0] != nil {
+		t.Fatalf("QueryBatch k=0 = %v, want one nil entry", zero)
+	}
+}

@@ -1,0 +1,85 @@
+package match
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/edge-mar/scatter/internal/vision/sift"
+)
+
+func randFeats(rng *rand.Rand, n int) []sift.Feature {
+	out := make([]sift.Feature, n)
+	for i := range out {
+		var norm float64
+		for j := range out[i].Desc {
+			v := rng.Float64()
+			out[i].Desc[j] = float32(v)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		for j := range out[i].Desc {
+			out[i].Desc[j] = float32(float64(out[i].Desc[j]) / norm)
+		}
+	}
+	return out
+}
+
+// Batched kernel contract: RatioTestBatch reuses one distance matrix
+// across the batch but each result must be bit-identical to a serial
+// RatioTest of the same query set.
+func TestRatioTestBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	train := randFeats(rng, 97)
+	queries := [][]sift.Feature{
+		randFeats(rng, 60),
+		randFeats(rng, 1), // single query feature
+		{},                // empty query mid-batch
+		randFeats(rng, 123),
+	}
+	for _, workers := range []int{1, 4} {
+		got := ratioTestBatch(queries, train, 0.85, workers)
+		if len(got) != len(queries) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(queries))
+		}
+		for b, q := range queries {
+			want := RatioTest(q, train, 0.85)
+			if len(got[b]) != len(want) {
+				t.Fatalf("workers=%d item %d: %d matches, serial %d", workers, b, len(got[b]), len(want))
+			}
+			for i := range want {
+				if got[b][i] != want[i] {
+					t.Fatalf("workers=%d item %d match %d: %+v, serial %+v", workers, b, i, got[b][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRatioTestBatchSizeOneAndEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	train := randFeats(rng, 50)
+	query := randFeats(rng, 40)
+	one := RatioTestBatch([][]sift.Feature{query}, train, 0.85)
+	if len(one) != 1 {
+		t.Fatalf("batch of one returned %d results", len(one))
+	}
+	want := RatioTest(query, train, 0.85)
+	if len(one[0]) != len(want) {
+		t.Fatalf("batch of one: %d matches, serial %d", len(one[0]), len(want))
+	}
+	for i := range want {
+		if one[0][i] != want[i] {
+			t.Fatalf("batch of one match %d: %+v, serial %+v", i, one[0][i], want[i])
+		}
+	}
+	if out := RatioTestBatch(nil, train, 0.85); len(out) != 0 {
+		t.Fatalf("RatioTestBatch(nil) = %v, want empty", out)
+	}
+	// A train set below two features can never pass the ratio test;
+	// the batch path must mirror RatioTest's nil results.
+	short := RatioTestBatch([][]sift.Feature{query}, train[:1], 0.85)
+	if len(short) != 1 || short[0] != nil {
+		t.Fatalf("short-train batch = %v, want one nil entry", short)
+	}
+}
