@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-vision bench-dataplane bench-batching fuzz figures examples chaos clean
+.PHONY: all build vet test race cover bench bench-vision bench-dataplane bench-batching bench-routing fuzz figures examples chaos clean
 
 all: build test
 
@@ -19,7 +19,7 @@ vet:
 # compiling and running without paying full measurement time.
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs ./internal/agent ./internal/transport ./internal/netem ./internal/vision/...
+	$(GO) test -race ./internal/obs/... ./internal/agent ./internal/transport ./internal/netem ./internal/vision/...
 	$(GO) test -run '^$$' -bench 'WorkerHop|DataplaneEncode' -benchtime=1x ./internal/agent
 
 race:
@@ -55,6 +55,14 @@ bench-batching:
 	$(GO) test -run '^$$' -bench 'WorkerHopBatched' -benchmem -cpu 1,4,8 ./internal/agent \
 		| $(GO) run ./cmd/benchjson -o BENCH_batching.json -note "make bench-batching"
 
+# Stats-driven replica selection on the forward path: ns/op and allocs/op
+# of StatsRouter.Pick (power-of-two-choices over live windows), exported
+# to BENCH_routing.json. The 0 allocs/op budget is enforced as a plain
+# test in internal/agent alloc_test.go; this records the latency.
+bench-routing:
+	$(GO) test -run '^$$' -bench 'ReplicaPick' -benchmem ./internal/agent \
+		| $(GO) run ./cmd/benchjson -o BENCH_routing.json -note "make bench-routing"
+
 # Smoke-runs every vision kernel benchmark once at 1, 4, and 8 cores.
 # Worker pools size themselves from GOMAXPROCS, so each -cpu row measures
 # the pool at that width; see EXPERIMENTS.md for the full scaling recipe.
@@ -71,7 +79,7 @@ fuzz:
 # kills, and the end-to-end failover/recovery acceptance run — all under
 # the race detector.
 chaos:
-	$(GO) test -race -run 'Chaos|Failover|Fault|Partition|Reconnect' -v ./internal/transport ./internal/agent
+	$(GO) test -race -run 'Chaos|Failover|Fault|Partition|Reconnect|StatsRouting' -v ./internal/transport ./internal/agent
 
 examples:
 	$(GO) run ./examples/quickstart

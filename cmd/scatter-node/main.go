@@ -24,16 +24,22 @@
 //	  "obs_listen": "127.0.0.1:9100",
 //	  "trace_spans": true,
 //	  "batch_max": 4, "batch_slack_ms": 10,
+//	  "route_stats": {"enabled": true, "ack_timeout_ms": 250},
 //	  "fault": {"packet_loss": 0.01, "delay_ms": 5, "seed": 42}
 //	}
 //
 // obs_listen serves live telemetry (/metrics, /metrics.json, /healthz,
-// /debug/vars, /debug/pprof); trace_spans stamps per-service spans onto
-// frames for end-to-end trace reconstruction at the client; batch_max
-// and batch_slack_ms arm the deadline-aware micro-batching former on
-// every batch-capable service; fault (all fields optional) injects
-// drops, compounding per-fragment loss, delay, jitter, and duplication
-// on this node's outbound traffic for chaos experiments.
+// /routes, /routes.json, /debug/vars, /debug/pprof); trace_spans stamps
+// per-service spans onto frames for end-to-end trace reconstruction at
+// the client; batch_max and batch_slack_ms arm the deadline-aware
+// micro-batching former on every batch-capable service; route_stats
+// upgrades forwarding from static round-robin to stats-driven replica
+// selection over live per-replica windows (hop acks feed EWMA latency
+// and loss; unhealthy replicas are shed, ejected, and re-admitted after
+// probation), published on the obs endpoints and in heartbeats; fault
+// (all fields optional) injects drops, compounding per-fragment loss,
+// delay, jitter, and duplication on this node's outbound traffic for
+// chaos experiments.
 //
 // Split deployments run scatter-node on several machines with routes
 // pointing across hosts, exactly as the paper pins services to E1/E2.
@@ -55,6 +61,7 @@ import (
 	"github.com/edge-mar/scatter/internal/agent"
 	"github.com/edge-mar/scatter/internal/core"
 	"github.com/edge-mar/scatter/internal/obs"
+	"github.com/edge-mar/scatter/internal/obs/routestats"
 	"github.com/edge-mar/scatter/internal/orchestrator"
 	"github.com/edge-mar/scatter/internal/trace"
 	"github.com/edge-mar/scatter/internal/transport"
@@ -90,6 +97,37 @@ func (f *faultSpec) policy() transport.FaultPolicy {
 	}
 }
 
+// routeStatsSpec arms stats-driven routing. Zero fields take the
+// routestats defaults; see internal/obs/routestats for the semantics.
+type routeStatsSpec struct {
+	Enabled            bool    `json:"enabled"`
+	Alpha              float64 `json:"alpha,omitempty"`
+	AckTimeoutMs       int     `json:"ack_timeout_ms,omitempty"`
+	MinSamples         uint64  `json:"min_samples,omitempty"`
+	DegradeLoss        float64 `json:"degrade_loss,omitempty"`
+	EjectLoss          float64 `json:"eject_loss,omitempty"`
+	EjectFailures      uint32  `json:"eject_failures,omitempty"`
+	ProbationMs        int     `json:"probation_ms,omitempty"`
+	ProbationSuccesses uint32  `json:"probation_successes,omitempty"`
+	ProbeEvery         uint64  `json:"probe_every,omitempty"`
+	Seed               uint64  `json:"seed,omitempty"`
+}
+
+func (r *routeStatsSpec) config() routestats.Config {
+	return routestats.Config{
+		Alpha:              r.Alpha,
+		AckTimeout:         time.Duration(r.AckTimeoutMs) * time.Millisecond,
+		MinSamples:         r.MinSamples,
+		DegradeLoss:        r.DegradeLoss,
+		EjectLoss:          r.EjectLoss,
+		EjectFailures:      r.EjectFailures,
+		Probation:          time.Duration(r.ProbationMs) * time.Millisecond,
+		ProbationSuccesses: r.ProbationSuccesses,
+		ProbeEvery:         r.ProbeEvery,
+		Seed:               r.Seed,
+	}
+}
+
 type nodeConfig struct {
 	Mode           string              `json:"mode"`    // "scatter" or "scatter++"
 	Network        string              `json:"network"` // "udp" (default) or "tcp"
@@ -121,6 +159,12 @@ type nodeConfig struct {
 	// reserves: it flushes a partial batch once the oldest frame's
 	// remaining budget drops to this slack. Default 10ms when batching.
 	BatchSlackMs int `json:"batch_slack_ms,omitempty"`
+	// RouteStats, when enabled, replaces the static round-robin router
+	// with the stats-driven one: per-replica windows fed by hop acks
+	// drive power-of-two-choices selection, health ejection, and
+	// probation re-admission. The windows are exported on the obs
+	// endpoints (scatter_route_*, /routes) and in heartbeats.
+	RouteStats *routeStatsSpec `json:"route_stats,omitempty"`
 }
 
 // telemetryDigest converts the node's live registry digest into the
@@ -202,7 +246,14 @@ func main() {
 		}
 		hops[step] = addrs
 	}
-	router := agent.NewStaticRouter(hops)
+	var router agent.Router = agent.NewStaticRouter(hops)
+	var statsRouter *agent.StatsRouter
+	if cfg.RouteStats != nil && cfg.RouteStats.Enabled {
+		statsRouter = agent.NewStatsRouter(hops, cfg.RouteStats.config())
+		router = statsRouter
+		log.Info("stats-driven routing armed",
+			"ack_timeout", statsRouter.AckTimeout())
+	}
 
 	// Optional fault injection: every worker's outbound traffic goes
 	// through the same policy, like tc/netem qdiscs on the node's egress.
@@ -232,6 +283,9 @@ func main() {
 	// Live metrics registry shared by every worker on this node; the
 	// span host label prefers the orchestrator node name.
 	reg := obs.NewRegistry()
+	if statsRouter != nil {
+		reg.SetRouteSource(statsRouter.Table().Digest)
+	}
 	hostLabel := ""
 	if cfg.Node != nil {
 		hostLabel = cfg.Node.Name
@@ -329,6 +383,7 @@ func main() {
 				MemUsed:       int64(ms.Alloc),
 				LastHeartbeat: time.Now(),
 				Services:      telemetryDigest(reg),
+				Routes:        orchestrator.RouteTelemetry(reg.RouteDigests()),
 			}
 		}, func(err error) {
 			log.Warn("heartbeat", "err", err)

@@ -13,6 +13,11 @@
 // E1, the tail on E2) with span tracing enabled and exports whatever it
 // recorded. The convert mode reads a JSON array of spans — the shape
 // /spans on a telemetry endpoint returns — and renders it.
+//
+// With -routes the simulation also enables stats-driven weighted routing
+// over a second sift replica on E2 and dumps the final route table
+// (per-replica weights, health states, loss/latency windows) alongside
+// the trace — the same view a live node serves at /routes.
 package main
 
 import (
@@ -26,11 +31,33 @@ import (
 	"github.com/edge-mar/scatter/internal/core"
 	"github.com/edge-mar/scatter/internal/experiments"
 	"github.com/edge-mar/scatter/internal/obs"
+	"github.com/edge-mar/scatter/internal/obs/routestats"
+	"github.com/edge-mar/scatter/internal/testbed"
+	"github.com/edge-mar/scatter/internal/wire"
 )
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "scatter-spans: %v\n", err)
 	os.Exit(1)
+}
+
+// writeRoutes renders the route table the way /routes does on a live
+// node, to the named file or stdout for "-".
+func writeRoutes(dest string, digests []routestats.RouteDigest) error {
+	if dest == "-" {
+		obs.WriteRouteTable(os.Stdout, digests)
+		return nil
+	}
+	f, err := os.Create(dest)
+	if err != nil {
+		return err
+	}
+	obs.WriteRouteTable(f, digests)
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote route table to %s\n", dest)
+	return nil
 }
 
 func main() {
@@ -40,10 +67,15 @@ func main() {
 	clients := flag.Int("clients", 3, "simulated concurrent clients")
 	duration := flag.Duration("duration", 10*time.Second, "simulated run length (virtual time)")
 	maxSpans := flag.Int("max-spans", 0, "span recorder bound (0 = default)")
+	routes := flag.String("routes", "",
+		`dump the final route table (weights/health) to this file, "-" for stdout; enables weighted routing with a second sift replica on E2`)
 	flag.Parse()
 
 	var spans []obs.Span
 	if *in != "" {
+		if *routes != "" {
+			fail(fmt.Errorf("-routes needs a simulation run, not a span conversion"))
+		}
 		data, err := os.ReadFile(*in)
 		if err != nil {
 			fail(err)
@@ -61,7 +93,7 @@ func main() {
 		default:
 			fail(fmt.Errorf("unknown mode %q", *mode))
 		}
-		pt := experiments.Run(experiments.RunSpec{
+		spec := experiments.RunSpec{
 			Name:          "spans-" + m.String(),
 			Mode:          m,
 			Placement:     experiments.ConfigC12,
@@ -69,10 +101,27 @@ func main() {
 			Duration:      *duration,
 			Trace:         true,
 			TraceMaxSpans: *maxSpans,
-		})
+		}
+		if *routes != "" {
+			// Give the router something to choose between: a second sift
+			// replica on E2 on top of the C12 layout.
+			spec.Placement = func(w *experiments.World) core.Placement {
+				pl := experiments.ConfigC12(w)
+				pl[wire.StepSIFT] = []*testbed.Machine{w.E1, w.E2}
+				return pl
+			}
+			spec.Options = core.Options{WeightedRouting: true,
+				RouteStats: routestats.Config{Seed: 1}}
+		}
+		pt := experiments.Run(spec)
 		spans = pt.Spans()
 		fmt.Printf("simulated %s, %d clients, %v: %d spans, %.1f%% frames delivered\n",
 			m, *clients, *duration, len(spans), pt.Summary.SuccessRate*100)
+		if *routes != "" {
+			if err := writeRoutes(*routes, pt.RouteDigests()); err != nil {
+				fail(err)
+			}
+		}
 	}
 	if len(spans) == 0 {
 		fail(fmt.Errorf("no spans to export"))

@@ -22,6 +22,7 @@ import (
 
 	"github.com/edge-mar/scatter/internal/core"
 	"github.com/edge-mar/scatter/internal/obs"
+	"github.com/edge-mar/scatter/internal/obs/routestats"
 	"github.com/edge-mar/scatter/internal/rpc"
 	"github.com/edge-mar/scatter/internal/transport"
 	"github.com/edge-mar/scatter/internal/wire"
@@ -33,6 +34,14 @@ type Router interface {
 	// Next returns the UDP address serving the given step, rotating
 	// across replicas (semantic addressing).
 	Next(step wire.Step) (string, bool)
+}
+
+// RouteUpdater is a Router whose replica table a control plane can
+// replace at runtime. StaticRouter and StatsRouter both implement it.
+type RouteUpdater interface {
+	Router
+	// SetRoutes atomically replaces the step→replica-addresses table.
+	SetRoutes(hops map[wire.Step][]string)
 }
 
 // StaticRouter is a fixed routing table with round-robin replica
@@ -231,9 +240,26 @@ type Worker struct {
 
 	// clientAddrs caches the string form of client delivery addresses
 	// (netip.AddrPort.String allocates); bounded like the transport
-	// resolve cache.
+	// resolve cache. Ack replies reuse it for sender addresses.
 	clientAddrMu sync.RWMutex
 	clientAddrs  map[netip.AddrPort]string
+
+	// Stats-driven routing plumbing. picker is non-nil when cfg.Router
+	// implements ReplicaPicker (e.g. a StatsRouter): forwards then charge
+	// their outcome to the chosen replica's statistics window. ackMode
+	// additionally arms the hop-acknowledgement protocol — UDP only;
+	// over TCP the synchronous send is its own latency/loss signal.
+	picker  ReplicaPicker
+	ackMode bool
+	pendMu  sync.Mutex
+	pending map[uint64]pendingAck
+}
+
+// pendingAck is one ack-awaited forward: which replica window to credit
+// and when the frame left, so the ack round-trip is the hop latency.
+type pendingAck struct {
+	rep *routestats.Replica
+	at  time.Time
 }
 
 // maxClientAddrCacheEntries bounds the delivery-address string cache.
@@ -299,6 +325,13 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Obs != nil {
 		w.live = cfg.Obs.Service(cfg.Step.String())
 	}
+	if p, ok := cfg.Router.(ReplicaPicker); ok {
+		w.picker = p
+		w.ackMode = cfg.Network == "" || cfg.Network == "udp"
+		if w.ackMode {
+			w.pending = make(map[uint64]pendingAck)
+		}
+	}
 	// Everything the receive path touches must exist before the UDP read
 	// loop starts delivering messages.
 	if cfg.Mode == core.ModeScatterPP {
@@ -336,6 +369,10 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	if w.queue != nil {
 		w.wg.Add(1)
 		go w.sidecarLoop()
+	}
+	if w.ackMode {
+		w.wg.Add(1)
+		go w.ackSweepLoop()
 	}
 	return w, nil
 }
@@ -456,6 +493,10 @@ func (w *Worker) onTransportDrop(from, reason string) {
 // (scAtteR), the sidecar queue (scAtteR++), or a drop path — and the
 // consumer returns it to the pool.
 func (w *Worker) onMessage(data []byte, from net.Addr) {
+	if wire.IsAck(data) {
+		w.onAck(data)
+		return
+	}
 	fr := w.frames.Get()
 	if err := fr.UnmarshalBinary(data); err != nil {
 		w.frames.Put(fr)
@@ -470,6 +511,12 @@ func (w *Worker) onMessage(data []byte, from net.Addr) {
 	if w.live != nil {
 		w.live.Arrived.Inc()
 	}
+	// Ack identity, captured before envelope ownership moves to the
+	// processing goroutine or the sidecar queue. Acks are sent only on
+	// admission: a frame dropped at the door stays unacknowledged, and
+	// the sender's timeout books it as a route loss.
+	ackWanted := fr.AckWanted
+	clientID, frameNo, step := fr.ClientID, fr.FrameNo, fr.Step
 	switch w.cfg.Mode {
 	case core.ModeScatter:
 		// One frame at a time; outstanding requests at a busy service are
@@ -482,6 +529,9 @@ func (w *Worker) onMessage(data []byte, from net.Addr) {
 			w.dropSpan(fr, obs.OutcomeBusy, now, now, now)
 			w.frames.Put(fr)
 			return
+		}
+		if ackWanted {
+			w.sendAck(from, clientID, frameNo, step)
 		}
 		w.wg.Add(1)
 		go func() {
@@ -496,6 +546,9 @@ func (w *Worker) onMessage(data []byte, from net.Addr) {
 			if w.live != nil {
 				w.live.QueueLen.Set(int64(len(w.queue)))
 			}
+			if ackWanted {
+				w.sendAck(from, clientID, frameNo, step)
+			}
 		default:
 			w.droppedQueue.Add(1)
 			if w.live != nil {
@@ -506,6 +559,83 @@ func (w *Worker) onMessage(data []byte, from net.Addr) {
 		}
 	default:
 		w.frames.Put(fr)
+	}
+}
+
+// sendAck returns a hop acknowledgement to the previous hop. Only UDP
+// peers are acked: the reply goes to the sender's data socket (UDP
+// workers send and listen on one socket), and TCP senders already get a
+// synchronous send signal.
+func (w *Worker) sendAck(from net.Addr, clientID uint32, frameNo uint64, step wire.Step) {
+	ua, ok := from.(*net.UDPAddr)
+	if !ok {
+		return
+	}
+	box := w.conn.Load()
+	if box == nil {
+		return
+	}
+	buf := wire.AppendAck(w.encPool.Get(wire.AckSize), clientID, frameNo, step)
+	if err := box.ep.SendToAddr(w.clientAddrString(ua.AddrPort()), buf); err != nil {
+		w.cfg.Log.Debug("ack send failed", "step", step, "err", err)
+	}
+	w.encPool.Put(buf)
+}
+
+// onAck resolves a pending forward with the measured ack round-trip.
+// Unmatched acks (already swept as lost, or duplicated by the network)
+// are ignored.
+func (w *Worker) onAck(data []byte) {
+	clientID, frameNo, step, ok := wire.ParseAck(data)
+	if !ok {
+		return
+	}
+	key := wire.AckKey(clientID, frameNo, step)
+	w.pendMu.Lock()
+	p, found := w.pending[key]
+	if found {
+		delete(w.pending, key)
+	}
+	w.pendMu.Unlock()
+	if found {
+		p.rep.Outcome(time.Since(p.at), true)
+	}
+}
+
+// registerPending arms the ack timeout for one forwarded frame.
+func (w *Worker) registerPending(clientID uint32, frameNo uint64, step wire.Step, rep *routestats.Replica) {
+	key := wire.AckKey(clientID, frameNo, step)
+	w.pendMu.Lock()
+	w.pending[key] = pendingAck{rep: rep, at: time.Now()}
+	w.pendMu.Unlock()
+}
+
+// ackSweepLoop expires pending forwards that never got their ack,
+// booking each as a loss against its replica window — the signal that
+// distinguishes a lossy or overloaded replica from a healthy one.
+func (w *Worker) ackSweepLoop() {
+	defer w.wg.Done()
+	timeout := w.picker.AckTimeout()
+	tick := timeout / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case now := <-ticker.C:
+			w.pendMu.Lock()
+			for key, p := range w.pending {
+				if now.Sub(p.at) >= timeout {
+					delete(w.pending, key)
+					p.rep.Outcome(0, false)
+				}
+			}
+			w.pendMu.Unlock()
+		}
 	}
 }
 
@@ -715,6 +845,11 @@ func (w *Worker) complete(fr *wire.Frame, err error, enqueuedAt, start, end time
 		})
 	}
 
+	// Hop acknowledgements are requested on worker→worker forwards only
+	// (never on client delivery): the next hop acks admission, and the
+	// round-trip feeds this worker's replica statistics windows.
+	fr.AckWanted = w.ackMode && fr.Step != wire.StepDone
+
 	// Re-encode into pooled scratch: the transport must not retain the
 	// buffer after SendToAddr returns (Endpoint contract), so it goes
 	// straight back to the pool when the forward resolves.
@@ -738,13 +873,13 @@ func (w *Worker) complete(fr *wire.Frame, err error, enqueuedAt, start, end time
 			return
 		}
 		clientAddr := w.clientAddrString(fr.ClientAddr)
-		if err := w.forward(conn, wire.StepDone, clientAddr, data); err != nil {
+		if err := w.forward(conn, wire.StepDone, clientAddr, data, fr.ClientID, fr.FrameNo); err != nil {
 			w.errorsCount.Add(1)
 			w.cfg.Log.Debug("deliver failed", "client", clientAddr, "err", err)
 		}
 		return
 	}
-	if err := w.forward(conn, fr.Step, "", data); err != nil {
+	if err := w.forward(conn, fr.Step, "", data, fr.ClientID, fr.FrameNo); err != nil {
 		w.errorsCount.Add(1)
 		w.cfg.Log.Warn("forward failed", "step", fr.Step, "err", err)
 	}
@@ -780,7 +915,12 @@ var errNoRoute = errors.New("agent: no route for step")
 // retries, a send failure silently loses the frame (it only shows up as
 // an error count). The destination is plain arguments rather than a
 // resolver callback so the per-frame hot path builds no closures.
-func (w *Worker) forward(conn transport.Endpoint, step wire.Step, fixedAddr string, data []byte) error {
+//
+// With a stats-aware router, every pick charges the chosen replica's
+// window: a local send error immediately, an unacknowledged UDP forward
+// via the pending-ack sweep, a TCP forward by its synchronous send.
+func (w *Worker) forward(conn transport.Endpoint, step wire.Step, fixedAddr string, data []byte,
+	clientID uint32, frameNo uint64) error {
 	backoff := w.cfg.ForwardBackoff
 	var lastErr error
 	for attempt := 0; attempt < w.cfg.ForwardAttempts; attempt++ {
@@ -796,20 +936,76 @@ func (w *Worker) forward(conn transport.Endpoint, step wire.Step, fixedAddr stri
 			backoff *= 2
 		}
 		addr, ok := fixedAddr, true
+		var rep *routestats.Replica
 		if fixedAddr == "" {
-			addr, ok = w.cfg.Router.Next(step)
+			if w.picker != nil {
+				addr, rep, ok = w.picker.PickReplica(step)
+			} else {
+				addr, ok = w.cfg.Router.Next(step)
+			}
 		}
 		if !ok {
 			lastErr = errNoRoute
 			continue
 		}
+		if rep == nil {
+			if err := conn.SendToAddr(addr, data); err != nil {
+				lastErr = err
+				continue
+			}
+			return nil
+		}
+		w.routeSpan(step, addr, clientID, frameNo)
+		rep.Begin()
+		if w.ackMode {
+			if err := conn.SendToAddr(addr, data); err != nil {
+				rep.OutcomeSendError()
+				lastErr = err
+				continue
+			}
+			w.registerPending(clientID, frameNo, step, rep)
+			return nil
+		}
+		t0 := time.Now()
 		if err := conn.SendToAddr(addr, data); err != nil {
+			rep.OutcomeSendError()
 			lastErr = err
 			continue
 		}
+		rep.Outcome(time.Since(t0), true)
 		return nil
 	}
 	return lastErr
+}
+
+// routeSpanNames are the per-step route-decision span services,
+// precomputed so the hot path concatenates nothing.
+var routeSpanNames = func() (n [int(wire.StepDone) + 1]string) {
+	for s := wire.Step(0); s <= wire.StepDone; s++ {
+		n[s] = "route/" + s.String()
+	}
+	return
+}()
+
+// routeSpan records one stats-driven routing decision: which replica
+// (Host) was chosen for which frame at which step. Like every span it is
+// gated on TraceSpans and sinks into the worker's local recorder.
+func (w *Worker) routeSpan(step wire.Step, addr string, clientID uint32, frameNo uint64) {
+	if !w.cfg.TraceSpans {
+		return
+	}
+	at := time.Duration(time.Now().UnixMicro()) * time.Microsecond
+	w.cfg.Spans.Record(obs.Span{
+		Service:   routeSpanNames[step],
+		Host:      addr,
+		Step:      step,
+		ClientID:  clientID,
+		FrameNo:   frameNo,
+		EnqueueAt: at,
+		StartAt:   at,
+		EndAt:     at,
+		Outcome:   obs.OutcomeOK,
+	})
 }
 
 // State-fetch RPC wiring (matching -> sift in the stateful pipeline).

@@ -20,7 +20,9 @@ type DeployerConfig struct {
 	Network string
 	// Router is the routing table the Deployer keeps in sync with the
 	// live placement. Workers it starts forward through this router.
-	Router *StaticRouter
+	// A *StaticRouter gives the deterministic round-robin; a
+	// *StatsRouter adds stats-driven replica selection.
+	Router RouteUpdater
 	// NewProcessor builds a fresh processor each time an instance of the
 	// step is scheduled (processors are not shared across restarts).
 	NewProcessor func(step wire.Step) core.Processor

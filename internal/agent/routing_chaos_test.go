@@ -1,0 +1,261 @@
+package agent
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/obs/routestats"
+	"github.com/edge-mar/scatter/internal/transport"
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+// routingHarness is a stats-routed fan-out: a primary worker whose
+// StatsRouter spreads sift traffic over three replicas, with a
+// FaultyEndpoint interposed on the primary's socket so tests can make
+// one replica lossy/slow at runtime. Sift replicas mark frames done and
+// deliver them to the harness sink.
+type routingHarness struct {
+	t       *testing.T
+	primary *Worker
+	sifts   []*Worker
+	router  *StatsRouter
+	faults  *transport.FaultyEndpoint
+	src     transport.Endpoint
+	sink    transport.Endpoint
+	sinkCh  chan struct{}
+	frameNo uint64
+	buf     []byte
+	fr      *wire.Frame
+}
+
+func startRoutingHarness(t *testing.T, cfg routestats.Config) *routingHarness {
+	t.Helper()
+	h := &routingHarness{t: t, sinkCh: make(chan struct{}, 1024)}
+	var err error
+	h.sink, err = listenEndpoint("udp", "127.0.0.1:0", func(data []byte, from net.Addr) {
+		select {
+		case h.sinkCh <- struct{}{}:
+		default:
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		w, err := StartWorker(WorkerConfig{
+			Step:       wire.StepSIFT,
+			Mode:       core.ModeScatterPP,
+			Processor:  stepProcessor{step: wire.StepSIFT, next: wire.StepDone},
+			ListenAddr: "127.0.0.1:0",
+			Router:     NewStaticRouter(nil),
+			QueueCap:   64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.sifts = append(h.sifts, w)
+		addrs = append(addrs, w.Addr())
+	}
+	h.router = NewStatsRouter(map[wire.Step][]string{wire.StepSIFT: addrs}, cfg)
+	h.primary, err = StartWorker(WorkerConfig{
+		Step:       wire.StepPrimary,
+		Mode:       core.ModeScatterPP,
+		Processor:  stepProcessor{step: wire.StepPrimary, next: wire.StepSIFT},
+		ListenAddr: "127.0.0.1:0",
+		Router:     h.router,
+		QueueCap:   64,
+		WrapEndpoint: func(ep transport.Endpoint) transport.Endpoint {
+			h.faults = transport.NewFaultyEndpoint(ep, transport.FaultPolicy{}, 1)
+			return h.faults
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.src, err = listenEndpoint("udp", "127.0.0.1:0", func([]byte, net.Addr) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.fr = sinkBoundFrame(t, h.sink.LocalAddr(), 4<<10)
+	t.Cleanup(func() {
+		h.primary.Close()
+		for _, w := range h.sifts {
+			w.Close()
+		}
+		h.src.Close()
+		h.sink.Close()
+	})
+	return h
+}
+
+// send streams n frames at the given interval (distinct frame numbers,
+// so every forward gets its own pending-ack slot).
+func (h *routingHarness) send(n int, interval time.Duration) {
+	h.t.Helper()
+	for i := 0; i < n; i++ {
+		h.frameNo++
+		h.fr.FrameNo = h.frameNo
+		data, err := h.fr.AppendBinary(h.buf[:0])
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		h.buf = data
+		if err := h.src.SendToAddr(h.primary.Addr(), data); err != nil {
+			h.t.Fatal(err)
+		}
+		time.Sleep(interval)
+	}
+}
+
+// received snapshots each sift replica's arrival counter.
+func (h *routingHarness) received() []uint64 {
+	out := make([]uint64, len(h.sifts))
+	for i, w := range h.sifts {
+		out[i] = w.Stats().Received
+	}
+	return out
+}
+
+// waitState polls the sick replica's window until it reaches state (or
+// the deadline fails the test).
+func (h *routingHarness) waitState(addr string, want routestats.State, deadline time.Duration) {
+	h.t.Helper()
+	rep := h.router.Table().Find(wire.StepSIFT, addr)
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		if rep.State() == want {
+			return
+		}
+		h.send(4, 4*time.Millisecond)
+	}
+	h.t.Fatalf("replica %s never reached %v (state=%v, digest=%+v)",
+		addr, want, rep.State(), h.router.Table().Digest())
+}
+
+// chaosWindowConfig is tightened for test time: short ack timeout and
+// probation so fault detection and re-admission land within seconds.
+func chaosWindowConfig() routestats.Config {
+	return routestats.Config{
+		Alpha:              0.3,
+		AckTimeout:         120 * time.Millisecond,
+		MinSamples:         5,
+		DegradeLoss:        0.05,
+		EjectLoss:          0.5,
+		EjectFailures:      6,
+		Probation:          400 * time.Millisecond,
+		ProbationSuccesses: 3,
+		ProbeEvery:         8,
+		Seed:               7,
+	}
+}
+
+// TestStatsRoutingShedsDegradedReplica is the chaos e2e of the issue:
+// inject 50 ms delay + 10% loss on one of three replicas via a
+// transport.FaultyEndpoint, assert ≥80% of traffic drains to the healthy
+// replicas within the window horizon, then clear the fault and assert
+// the replica is re-admitted.
+func TestStatsRoutingShedsDegradedReplica(t *testing.T) {
+	h := startRoutingHarness(t, chaosWindowConfig())
+	sick := h.sifts[0].Addr()
+
+	// Phase 1: clean warm-up. Round-robin fallback spreads traffic evenly
+	// and warms every window past MinSamples.
+	h.send(30, 3*time.Millisecond)
+	rep := h.router.Table().Find(wire.StepSIFT, sick)
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if _, _, ok := h.router.Table().Pick(wire.StepSIFT); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("windows never warmed: %+v", h.router.Table().Digest())
+		}
+		h.send(6, 3*time.Millisecond)
+	}
+
+	// Phase 2: replica 0 turns sick — every frame to it is delayed 50 ms
+	// and 10% are lost outright.
+	h.faults.SetPeerPolicy(sick, transport.FaultPolicy{Drop: 0.10, Delay: 50 * time.Millisecond})
+	// Let the window notice (delayed acks inflate the latency EWMA, lost
+	// frames time out) before measuring the steady-state split.
+	h.send(60, 3*time.Millisecond)
+	time.Sleep(200 * time.Millisecond)
+	before := h.received()
+	h.send(200, 3*time.Millisecond)
+	time.Sleep(100 * time.Millisecond)
+	after := h.received()
+	var sickShare, total uint64
+	for i := range after {
+		d := after[i] - before[i]
+		total += d
+		if i == 0 {
+			sickShare = d
+		}
+	}
+	if total == 0 {
+		t.Fatal("no frames reached any replica during the fault window")
+	}
+	if healthy := float64(total-sickShare) / float64(total); healthy < 0.8 {
+		t.Fatalf("healthy replicas carried %.0f%% of traffic during the fault, want ≥80%% (split=%v, digest=%+v)",
+			healthy*100, after, h.router.Table().Digest())
+	}
+
+	// Phase 3: the fault clears; probe traffic re-feeds the window and
+	// the replica returns to healthy.
+	h.faults.ClearPeerPolicy(sick)
+	h.waitState(sick, routestats.StateHealthy, 5*time.Second)
+	healBase := h.received()[0]
+	h.send(120, 3*time.Millisecond)
+	time.Sleep(100 * time.Millisecond)
+	if got := h.received()[0] - healBase; got == 0 {
+		t.Fatalf("re-admitted replica received no traffic after the fault cleared (digest=%+v)",
+			h.router.Table().Digest())
+	}
+	_ = rep
+}
+
+// TestStatsRoutingEjectsAndReadmits drives the full health cycle through
+// the real ack plumbing: a blackholed replica is ejected (consecutive
+// ack timeouts), sits out probation, then earns its way back to healthy
+// through probe successes once the partition heals.
+func TestStatsRoutingEjectsAndReadmits(t *testing.T) {
+	h := startRoutingHarness(t, chaosWindowConfig())
+	sick := h.sifts[1].Addr()
+
+	h.send(30, 3*time.Millisecond)
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if _, _, ok := h.router.Table().Pick(wire.StepSIFT); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("windows never warmed: %+v", h.router.Table().Digest())
+		}
+		h.send(6, 3*time.Millisecond)
+	}
+
+	// Blackhole: every frame to the replica vanishes; only ack timeouts
+	// report back.
+	h.faults.SetPeerPolicy(sick, transport.FaultPolicy{Drop: 1.0})
+	h.waitState(sick, routestats.StateEjected, 8*time.Second)
+
+	// Heal. After the probation sit-out a pick promotes the replica to
+	// probation, probes feed it, and consecutive successes re-admit it.
+	h.faults.ClearPeerPolicy(sick)
+	h.waitState(sick, routestats.StateHealthy, 8*time.Second)
+
+	// Ejection and re-admission must be visible in the digest counters.
+	for _, d := range h.router.Table().Digest() {
+		if d.Replica == sick {
+			if d.Lost == 0 {
+				t.Fatalf("blackholed replica shows no losses: %+v", d)
+			}
+			if d.State != "healthy" {
+				t.Fatalf("digest state %q after re-admission", d.State)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/edge-mar/scatter/internal/metrics"
 	"github.com/edge-mar/scatter/internal/netem"
 	"github.com/edge-mar/scatter/internal/obs"
+	"github.com/edge-mar/scatter/internal/obs/routestats"
 	"github.com/edge-mar/scatter/internal/sim"
 	"github.com/edge-mar/scatter/internal/testbed"
 	"github.com/edge-mar/scatter/internal/trace"
@@ -78,6 +79,20 @@ type Options struct {
 	// so waiting for more frames can never push a frame past its
 	// threshold. Default 10 ms.
 	BatchSlack time.Duration
+	// WeightedRouting replaces the plain round-robin replica selection
+	// with the runtime's stats-driven power-of-two-choices over live
+	// per-replica windows (mirroring agent.StatsRouter). Windows are fed
+	// at admission, exactly like the real data plane's hop acks: an
+	// accepted frame is an OK outcome carrying the hop's transit+wait
+	// latency; a busy/overflow drop or a terminal link loss is a loss
+	// outcome. While any window of a step is cold, selection falls back
+	// to the same deterministic round-robin as when this flag is off.
+	WeightedRouting bool
+	// RouteStats tunes the route windows when WeightedRouting is on. The
+	// zero value takes the routestats defaults; Now is always overridden
+	// with the engine's virtual clock, and a zero Seed is drawn from the
+	// engine's deterministic RNG so runs stay reproducible.
+	RouteStats routestats.Config
 }
 
 func (o Options) withDefaults() Options {
@@ -163,6 +178,10 @@ type simFrame struct {
 	capture  sim.Time
 	bytes    int
 	sticky   *Instance // sift replica holding this frame's state (scAtteR)
+	// hopRep is the route window of the replica this frame is currently
+	// in flight to (WeightedRouting); the admission outcome resolves it.
+	hopRep    *routestats.Replica
+	hopSentAt sim.Time
 }
 
 type stateKey struct {
@@ -227,6 +246,11 @@ type Pipeline struct {
 	rr        [wire.NumSteps]int
 	machines  []*testbed.Machine
 	clients   int
+
+	// routes mirrors the runtime's per-replica statistics windows on the
+	// virtual clock (WeightedRouting); nil when routing is plain RR.
+	routes *routestats.Table
+	repOf  map[*Instance]*routestats.Replica
 }
 
 // NewPipeline deploys the pipeline per the placement. It panics on
@@ -268,7 +292,51 @@ func NewPipeline(eng *sim.Engine, fabric *Fabric, col *metrics.Collector,
 			}
 		}
 	}
+	if p.opts.WeightedRouting {
+		cfg := p.opts.RouteStats
+		if cfg.Seed == 0 {
+			cfg.Seed = uint64(eng.Rand().Int63())
+		}
+		cfg.Now = func() int64 { return int64(p.eng.Now()) }
+		p.routes = routestats.New(cfg)
+		p.repOf = make(map[*Instance]*routestats.Replica)
+		for step := range p.instances {
+			p.syncRoutes(wire.Step(step))
+		}
+	}
 	return p
+}
+
+// routeAddr is the synthetic replica address the sim's route windows are
+// keyed by — unique per (machine, replica slot) within a step.
+func (in *Instance) routeAddr() string {
+	return fmt.Sprintf("%s#%d", in.machine.Name(), in.replica)
+}
+
+// syncRoutes rebuilds the route window set of one step from the deployed
+// replicas (windows of surviving replicas are preserved by address).
+func (p *Pipeline) syncRoutes(step wire.Step) {
+	if p.routes == nil {
+		return
+	}
+	reps := p.instances[step]
+	addrs := make([]string, len(reps))
+	for i, in := range reps {
+		addrs[i] = in.routeAddr()
+	}
+	p.routes.SetReplicas(step, addrs)
+	for i, in := range reps {
+		p.repOf[in] = p.routes.Find(step, addrs[i])
+	}
+}
+
+// RouteDigests snapshots the per-replica routing windows, or nil when
+// WeightedRouting is off.
+func (p *Pipeline) RouteDigests() []routestats.RouteDigest {
+	if p.routes == nil {
+		return nil
+	}
+	return p.routes.Digest()
 }
 
 // Instances returns the replicas deployed for a step.
@@ -296,6 +364,7 @@ func (p *Pipeline) AddReplica(step wire.Step, m *testbed.Machine) (*Instance, er
 		states:  make(map[stateKey]*stateEntry),
 	}
 	p.instances[step] = append(p.instances[step], in)
+	p.syncRoutes(step)
 	known := false
 	for _, existing := range p.machines {
 		if existing == m {
@@ -344,12 +413,19 @@ func (in *Instance) recordSpan(fr *simFrame, enqueue, start, end sim.Time, outco
 }
 
 // route picks the replica that will serve the next request at a step:
-// plain round-robin (Oakestra's semantic addressing). In scAtteR, frames
-// balanced across sift replicas remain tied to the replica that processed
-// them — downstream state fetches must go there (simFrame.sticky), which
-// is why balancing cannot relieve the dependency loop.
+// plain round-robin (Oakestra's semantic addressing), or — with
+// WeightedRouting and warm windows — the runtime's power-of-two-choices
+// over live replica weights. In scAtteR, frames balanced across sift
+// replicas remain tied to the replica that processed them — downstream
+// state fetches must go there (simFrame.sticky), which is why balancing
+// cannot relieve the dependency loop.
 func (p *Pipeline) route(step wire.Step, clientID uint32) *Instance {
 	replicas := p.instances[step]
+	if p.routes != nil && len(replicas) > 1 {
+		if _, i, ok := p.routes.Pick(step); ok {
+			return replicas[i]
+		}
+	}
 	in := replicas[p.rr[step]%len(replicas)]
 	p.rr[step]++
 	return in
@@ -357,17 +433,45 @@ func (p *Pipeline) route(step wire.Step, clientID uint32) *Instance {
 
 // send transits a frame from an endpoint to an instance, applying load-
 // balancing overhead when the target step is replicated. Lost frames are
-// terminal unless ReliableTransport retransmits them.
+// terminal unless ReliableTransport retransmits them. With
+// WeightedRouting the hop is charged to the target's route window: a
+// terminal link loss resolves it as lost here, admission at the far end
+// resolves it otherwise (routeOutcome).
 func (p *Pipeline) send(from string, in *Instance, fr *simFrame) {
+	var onLost func()
+	if p.routes != nil {
+		if rep := p.repOf[in]; rep != nil {
+			rep.Begin()
+			fr.hopRep = rep
+			fr.hopSentAt = p.eng.Now()
+			onLost = func() {
+				fr.hopRep = nil
+				rep.Outcome(0, false)
+			}
+		}
+	}
 	p.transit(p.fabric.Link(from, in.machine.Name()), fr.bytes, func() {
 		p.arrive(in, fr)
-	}, len(p.instances[in.step]) > 1)
+	}, len(p.instances[in.step]) > 1, onLost)
+}
+
+// routeOutcome resolves a frame's in-flight hop against the target's
+// route window — the sim's equivalent of the data plane's
+// ack-on-admission: ok with the hop latency when the frame was admitted,
+// lost when it was dropped at ingress.
+func (p *Pipeline) routeOutcome(fr *simFrame, ok bool) {
+	if fr.hopRep == nil {
+		return
+	}
+	fr.hopRep.Outcome(time.Duration(p.eng.Now()-fr.hopSentAt), ok)
+	fr.hopRep = nil
 }
 
 // transit moves bytes across a link and runs onArrive on delivery,
 // applying the reliability policy. lb adds the load-balancing proxy
-// overhead.
-func (p *Pipeline) transit(link *netem.Link, bytes int, onArrive func(), lb bool) {
+// overhead. onLost (may be nil) fires when the frame is terminally lost
+// on the link.
+func (p *Pipeline) transit(link *netem.Link, bytes int, onArrive func(), lb bool, onLost func()) {
 	attempts := 1
 	if p.opts.ReliableTransport {
 		attempts += p.opts.Retries
@@ -384,6 +488,9 @@ func (p *Pipeline) transit(link *netem.Link, bytes int, onArrive func(), lb bool
 				return
 			}
 			p.col.FrameDropped(metrics.DropLoss)
+			if onLost != nil {
+				onLost()
+			}
 			return
 		}
 		if lb {
@@ -394,29 +501,36 @@ func (p *Pipeline) transit(link *netem.Link, bytes int, onArrive func(), lb bool
 	try(attempts)
 }
 
-// arrive is a frame hitting a service ingress.
+// arrive is a frame hitting a service ingress. Admission resolves the
+// hop's route window (WeightedRouting), mirroring the real data plane's
+// ack-on-admission: a busy/overflow drop never acks, so it counts as a
+// loss at the sender.
 func (p *Pipeline) arrive(in *Instance, fr *simFrame) {
 	p.col.ServiceArrived(in.Name(), p.eng.Now())
 	if p.opts.Mode == ModeScatter {
 		if in.busy {
 			// One frame at a time, no queue: outstanding requests at
 			// busy services are dropped.
+			p.routeOutcome(fr, false)
 			p.col.ServiceDroppedAt(in.Name(), p.eng.Now())
 			p.col.FrameDropped(metrics.DropBusy)
 			in.recordSpan(fr, p.eng.Now(), p.eng.Now(), p.eng.Now(), obs.OutcomeBusy)
 			return
 		}
+		p.routeOutcome(fr, true)
 		in.busy = true
 		in.start(fr, 0)
 		return
 	}
 	// scAtteR++: sidecar queue.
 	if len(in.queue) >= p.opts.QueueCap {
+		p.routeOutcome(fr, false)
 		p.col.ServiceDroppedAt(in.Name(), p.eng.Now())
 		p.col.FrameDropped(metrics.DropOverflow)
 		in.recordSpan(fr, p.eng.Now(), p.eng.Now(), p.eng.Now(), obs.OutcomeOverflow)
 		return
 	}
+	p.routeOutcome(fr, true)
 	in.queue = append(in.queue, queuedFrame{fr: fr, at: p.eng.Now()})
 	in.kick()
 }
@@ -646,7 +760,7 @@ func (in *Instance) deliver(fr *simFrame) {
 	clientID := fr.clientID
 	p.transit(link, p.opts.ResultBytes, func() {
 		p.col.FrameDelivered(clientID, capture, p.eng.Now())
-	}, false)
+	}, false, nil)
 }
 
 // storeState retains the frame's extracted features in sift's memory

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/metrics"
+	"github.com/edge-mar/scatter/internal/netem"
+	"github.com/edge-mar/scatter/internal/obs/routestats"
+	"github.com/edge-mar/scatter/internal/testbed"
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+// siftReplicatedPlacement puts everything on e1 except sift, which gets a
+// second replica on e2 — the smallest topology where routing matters.
+func siftReplicatedPlacement(e *env) Placement {
+	pl := PlaceAll(e.e1)
+	pl[wire.StepSIFT] = []*testbed.Machine{e.e1, e.e2}
+	return pl
+}
+
+// TestWeightedRoutingColdIsIdenticalToRR pins the acceptance criterion in
+// the sim: with windows that can never warm (huge MinSamples), a
+// WeightedRouting run is bit-identical to the plain round-robin run —
+// same selections, same drops, same latencies. RouteStats.Seed is pinned
+// so the engine RNG draw sequence matches the disabled run.
+func TestWeightedRoutingColdIsIdenticalToRR(t *testing.T) {
+	run := func(opts Options) metrics.Summary {
+		e := newEnv(42)
+		p := NewPipeline(e.eng, e.fabric, e.col, siftReplicatedPlacement(e), DefaultProfiles(), opts)
+		return e.run(p, 3, 15*time.Second)
+	}
+	plain := run(Options{Mode: ModeScatterPP})
+	cold := run(Options{Mode: ModeScatterPP, WeightedRouting: true,
+		RouteStats: routestats.Config{MinSamples: 1 << 30, Seed: 99}})
+	if !reflect.DeepEqual(plain, cold) {
+		t.Errorf("cold weighted routing diverged from plain round-robin:\nplain: %+v\ncold:  %+v", plain, cold)
+	}
+}
+
+// TestWeightedRoutingShedsSlowReplica is the sim-side policy check: with
+// one sift replica behind a lossy, slow link, stats-driven selection
+// shifts traffic to the healthy replica and delivers more frames than
+// round-robin over the identical world.
+func TestWeightedRoutingShedsSlowReplica(t *testing.T) {
+	sick := netem.LinkConfig{Name: "sick-lan", RTT: 40 * time.Millisecond,
+		BandwidthBps: 100e6, Loss: 0.3}
+	run := func(weighted bool) (metrics.Summary, []routestats.RouteDigest) {
+		e := newEnv(43)
+		e.fabric.SetLink("E1", "E2", sick)
+		opts := Options{Mode: ModeScatterPP}
+		if weighted {
+			opts.WeightedRouting = true
+			opts.RouteStats = routestats.Config{Seed: 7}
+		}
+		p := NewPipeline(e.eng, e.fabric, e.col, siftReplicatedPlacement(e), DefaultProfiles(), opts)
+		// One client: E1 alone can absorb the full load, so offloading to
+		// the sick replica buys nothing and its link loss dominates.
+		return e.run(p, 1, 20*time.Second), p.RouteDigests()
+	}
+	rr, _ := run(false)
+	weighted, digests := run(true)
+
+	if weighted.SuccessRate <= rr.SuccessRate {
+		t.Errorf("weighted routing did not beat RR under a sick replica: weighted %.3f <= rr %.3f",
+			weighted.SuccessRate, rr.SuccessRate)
+	}
+	var healthy, sickD *routestats.RouteDigest
+	for i, d := range digests {
+		if d.Step != wire.StepSIFT.String() {
+			continue
+		}
+		if d.Replica == "E2#1" {
+			sickD = &digests[i]
+		} else {
+			healthy = &digests[i]
+		}
+	}
+	if healthy == nil || sickD == nil {
+		t.Fatalf("sift digests missing: %+v", digests)
+	}
+	if sickD.Sent*2 >= healthy.Sent {
+		t.Errorf("sick replica was not shed: sick sent %d vs healthy %d", sickD.Sent, healthy.Sent)
+	}
+	if sickD.LossRatio < 0.1 {
+		t.Errorf("sick replica loss window = %.3f, want the injected loss visible", sickD.LossRatio)
+	}
+	if routestats.ParseState(sickD.State).Rank() < routestats.StateDegraded.Rank() {
+		t.Errorf("sick replica state = %s, want at least degraded", sickD.State)
+	}
+}
+
+// TestWeightedRoutingScaleOutSyncsWindows checks AddReplica keeps the
+// route table coherent: the new replica gets a window, survivors keep
+// their counters.
+func TestWeightedRoutingScaleOutSyncsWindows(t *testing.T) {
+	e := newEnv(44)
+	p := NewPipeline(e.eng, e.fabric, e.col, PlaceAll(e.e1), DefaultProfiles(),
+		Options{Mode: ModeScatterPP, WeightedRouting: true, RouteStats: routestats.Config{Seed: 5}})
+	p.AddClient(ClientConfig{ID: 1, FPS: 30, Stop: 2 * time.Second})
+	e.eng.Run(2 * time.Second)
+	var before uint64
+	for _, d := range p.RouteDigests() {
+		if d.Step == wire.StepSIFT.String() {
+			before = d.Sent
+		}
+	}
+	if before == 0 {
+		t.Fatal("sift window saw no traffic before scale-out")
+	}
+	if _, err := p.AddReplica(wire.StepSIFT, e.e2); err != nil {
+		t.Fatal(err)
+	}
+	var siftWindows int
+	for _, d := range p.RouteDigests() {
+		if d.Step != wire.StepSIFT.String() {
+			continue
+		}
+		siftWindows++
+		if d.Replica == "E1#0" && d.Sent != before {
+			t.Errorf("survivor window lost its counters: %d != %d", d.Sent, before)
+		}
+	}
+	if siftWindows != 2 {
+		t.Errorf("sift windows after scale-out = %d, want 2", siftWindows)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/edge-mar/scatter/internal/metrics"
 	"github.com/edge-mar/scatter/internal/netem"
 	"github.com/edge-mar/scatter/internal/obs"
+	"github.com/edge-mar/scatter/internal/obs/routestats"
 	"github.com/edge-mar/scatter/internal/sim"
 	"github.com/edge-mar/scatter/internal/testbed"
 	"github.com/edge-mar/scatter/internal/wire"
@@ -142,6 +143,12 @@ func Run(spec RunSpec) RunPoint {
 // the spec did not enable tracing.
 func (pt RunPoint) Spans() []obs.Span {
 	return pt.pipeline.Tracer().Spans()
+}
+
+// RouteDigests returns the final per-replica routing windows of the run,
+// or nil when the spec did not enable Options.WeightedRouting.
+func (pt RunPoint) RouteDigests() []routestats.RouteDigest {
+	return pt.pipeline.RouteDigests()
 }
 
 // IngressFPSSeries exposes the per-service ingress FPS over intervals of

@@ -9,6 +9,8 @@ import (
 	"net/http/pprof"
 	"sort"
 	"time"
+
+	"github.com/edge-mar/scatter/internal/obs/routestats"
 )
 
 // Handler exposes a registry (and optionally a span recorder) over HTTP:
@@ -16,6 +18,8 @@ import (
 //	GET /metrics       text exposition (Prometheus-style lines)
 //	GET /metrics.json  JSON digest (the heartbeat payload, plus buckets)
 //	GET /healthz       liveness probe
+//	GET /routes        per-replica routing windows, aligned text table
+//	GET /routes.json   the same as JSON (404 without a route source)
 //	GET /spans         recorded spans as JSON (404 without a recorder)
 //	GET /spans.trace   recorded spans as Chrome trace_event JSON
 //	GET /debug/vars    expvar
@@ -35,6 +39,19 @@ func Handler(reg *Registry, rec *Recorder) http.Handler {
 	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(jsonMetrics(reg))
+	})
+	mux.HandleFunc("GET /routes", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteRouteTable(w, reg.RouteDigests())
+	})
+	mux.HandleFunc("GET /routes.json", func(w http.ResponseWriter, r *http.Request) {
+		digests := reg.RouteDigests()
+		if digests == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(digests)
 	})
 	mux.HandleFunc("GET /spans", func(w http.ResponseWriter, r *http.Request) {
 		if rec == nil {
@@ -102,6 +119,7 @@ func writeTextMetrics(w http.ResponseWriter, reg *Registry) {
 			writeTextHistogram(w, "scatter_service_batch_wait_seconds", name, &m.BatchWait)
 		}
 	}
+	writeTextRoutes(w, reg.RouteDigests())
 }
 
 func writeTextHistogram(w http.ResponseWriter, metric, service string, h *Histogram) {
@@ -124,10 +142,11 @@ func writeTextHistogram(w http.ResponseWriter, metric, service string, h *Histog
 
 // jsonSnapshot is the /metrics.json document.
 type jsonSnapshot struct {
-	UptimeSeconds   float64           `json:"uptime_seconds"`
-	FramesSent      uint64            `json:"frames_sent"`
-	FramesDelivered uint64            `json:"frames_delivered"`
-	Services        []jsonServiceSnap `json:"services"`
+	UptimeSeconds   float64                  `json:"uptime_seconds"`
+	FramesSent      uint64                   `json:"frames_sent"`
+	FramesDelivered uint64                   `json:"frames_delivered"`
+	Services        []jsonServiceSnap        `json:"services"`
+	Routes          []routestats.RouteDigest `json:"routes,omitempty"`
 }
 
 type jsonServiceSnap struct {
@@ -152,5 +171,6 @@ func jsonMetrics(reg *Registry) jsonSnapshot {
 			ProcP95Micros:  uint64(m.ProcLat.Quantile(0.95) / time.Microsecond),
 		})
 	}
+	snap.Routes = reg.RouteDigests()
 	return snap
 }

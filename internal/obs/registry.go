@@ -201,6 +201,10 @@ type Registry struct {
 
 	FramesSent      Counter
 	FramesDelivered Counter
+
+	// routeSrc holds the installed routeSource (SetRouteSource); nil-fn
+	// until a stats-driven router starts publishing.
+	routeSrc atomic.Value
 }
 
 // NewRegistry returns an empty registry anchored at now.

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/obs/routestats"
+)
+
+// SetRouteSource installs the live route-table snapshot the registry
+// exposes as scatter_route_* series and on /routes. The function is
+// called on every scrape, so it should be cheap (routestats.Table.Digest
+// is a lock-light atomic walk). A nil source removes the exposition.
+func (r *Registry) SetRouteSource(fn func() []routestats.RouteDigest) {
+	r.routeSrc.Store(routeSource{fn})
+}
+
+// routeSource wraps the snapshot func so atomic.Value always stores one
+// concrete type (bare funcs of identical signature would still panic on
+// nil stores).
+type routeSource struct {
+	fn func() []routestats.RouteDigest
+}
+
+// RouteDigests snapshots the installed route source, or nil when no
+// router is publishing statistics.
+func (r *Registry) RouteDigests() []routestats.RouteDigest {
+	src, ok := r.routeSrc.Load().(routeSource)
+	if !ok || src.fn == nil {
+		return nil
+	}
+	return src.fn()
+}
+
+// writeTextRoutes renders the per-replica routing window as Prometheus
+// text lines. States export as their rank (0 healthy … 3 ejected) so
+// dashboards can alert on max(scatter_route_state) without string
+// matching.
+func writeTextRoutes(w io.Writer, digests []routestats.RouteDigest) {
+	if len(digests) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE scatter_route_weight gauge\n")
+	fmt.Fprintf(w, "# TYPE scatter_route_state gauge\n")
+	fmt.Fprintf(w, "# TYPE scatter_route_latency_seconds gauge\n")
+	fmt.Fprintf(w, "# TYPE scatter_route_loss_ratio gauge\n")
+	fmt.Fprintf(w, "# TYPE scatter_route_inflight gauge\n")
+	fmt.Fprintf(w, "# TYPE scatter_route_sent_total counter\n")
+	fmt.Fprintf(w, "# TYPE scatter_route_acked_total counter\n")
+	fmt.Fprintf(w, "# TYPE scatter_route_lost_total counter\n")
+	fmt.Fprintf(w, "# TYPE scatter_route_send_errors_total counter\n")
+	for _, d := range digests {
+		label := fmt.Sprintf("{step=%q,replica=%q}", d.Step, d.Replica)
+		fmt.Fprintf(w, "scatter_route_weight%s %g\n", label, d.Weight)
+		fmt.Fprintf(w, "scatter_route_state%s %d\n", label, routestats.ParseState(d.State).Rank())
+		fmt.Fprintf(w, "scatter_route_latency_seconds%s %g\n", label,
+			(time.Duration(d.LatencyMicros) * time.Microsecond).Seconds())
+		fmt.Fprintf(w, "scatter_route_loss_ratio%s %g\n", label, d.LossRatio)
+		fmt.Fprintf(w, "scatter_route_inflight%s %d\n", label, d.Inflight)
+		fmt.Fprintf(w, "scatter_route_sent_total%s %d\n", label, d.Sent)
+		fmt.Fprintf(w, "scatter_route_acked_total%s %d\n", label, d.Acked)
+		fmt.Fprintf(w, "scatter_route_lost_total%s %d\n", label, d.Lost)
+		fmt.Fprintf(w, "scatter_route_send_errors_total%s %d\n", label, d.SendErrors)
+	}
+}
+
+// WriteRouteTable renders the human-oriented /routes debug view: one
+// aligned row per (step, replica) window.
+func WriteRouteTable(w io.Writer, digests []routestats.RouteDigest) {
+	if len(digests) == 0 {
+		fmt.Fprintln(w, "no route statistics published")
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "STEP\tREPLICA\tSTATE\tWEIGHT\tLATENCY\tLOSS\tINFLIGHT\tSENT\tACKED\tLOST\tSENDERR")
+	for _, d := range digests {
+		state := d.State
+		if d.Cold {
+			state += " (cold)"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.4g\t%s\t%.3f\t%d\t%d\t%d\t%d\t%d\n",
+			d.Step, d.Replica, state, d.Weight,
+			time.Duration(d.LatencyMicros)*time.Microsecond,
+			d.LossRatio, d.Inflight, d.Sent, d.Acked, d.Lost, d.SendErrors)
+	}
+	tw.Flush()
+}

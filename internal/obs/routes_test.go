@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/edge-mar/scatter/internal/obs/routestats"
+)
+
+func testRouteDigests() []routestats.RouteDigest {
+	return []routestats.RouteDigest{
+		{Step: "sift", Replica: "127.0.0.1:9001", State: "healthy",
+			Weight: 0.8, LatencyMicros: 1200, LossRatio: 0.01,
+			Inflight: 2, Sent: 100, Acked: 97, Lost: 1, SendErrors: 0},
+		{Step: "sift", Replica: "127.0.0.1:9002", State: "ejected",
+			Weight: 0, LatencyMicros: 90000, LossRatio: 0.9,
+			Sent: 40, Acked: 4, Lost: 36},
+		{Step: "encoding", Replica: "127.0.0.1:9003", State: "healthy",
+			Cold: true, Sent: 2},
+	}
+}
+
+func TestRouteExposition(t *testing.T) {
+	reg := testRegistry()
+	reg.SetRouteSource(func() []routestats.RouteDigest { return testRouteDigests() })
+	srv := httptest.NewServer(Handler(reg, nil))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	for _, want := range []string{
+		`scatter_route_weight{step="sift",replica="127.0.0.1:9001"} 0.8`,
+		`scatter_route_state{step="sift",replica="127.0.0.1:9001"} 0`,
+		`scatter_route_state{step="sift",replica="127.0.0.1:9002"} 3`,
+		`scatter_route_latency_seconds{step="sift",replica="127.0.0.1:9001"} 0.0012`,
+		`scatter_route_loss_ratio{step="sift",replica="127.0.0.1:9002"} 0.9`,
+		`scatter_route_acked_total{step="sift",replica="127.0.0.1:9001"} 97`,
+		`scatter_route_lost_total{step="sift",replica="127.0.0.1:9002"} 36`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("metrics.json status %d", code)
+	}
+	var snap struct {
+		Routes []routestats.RouteDigest `json:"routes"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics.json decode: %v", err)
+	}
+	if len(snap.Routes) != 3 || snap.Routes[0].Replica != "127.0.0.1:9001" {
+		t.Errorf("metrics.json routes wrong: %s", body)
+	}
+
+	code, body = get(t, srv, "/routes")
+	if code != http.StatusOK {
+		t.Fatalf("routes status %d", code)
+	}
+	for _, want := range []string{"STEP", "127.0.0.1:9002", "ejected", "healthy (cold)"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/routes missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/routes.json")
+	if code != http.StatusOK {
+		t.Fatalf("routes.json status %d", code)
+	}
+	var digests []routestats.RouteDigest
+	if err := json.Unmarshal([]byte(body), &digests); err != nil {
+		t.Fatalf("routes.json decode: %v", err)
+	}
+	if len(digests) != 3 || digests[1].State != "ejected" {
+		t.Errorf("routes.json content wrong: %s", body)
+	}
+}
+
+// TestRouteExpositionWithoutSource pins the degraded behaviour: no
+// scatter_route_* lines, an explanatory /routes body, 404 on the JSON
+// endpoint, and no routes key in /metrics.json.
+func TestRouteExpositionWithoutSource(t *testing.T) {
+	srv := httptest.NewServer(Handler(testRegistry(), nil))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK || strings.Contains(body, "scatter_route_") {
+		t.Errorf("route lines leaked without a source: %d\n%s", code, body)
+	}
+	code, body = get(t, srv, "/routes")
+	if code != http.StatusOK || !strings.Contains(body, "no route statistics") {
+		t.Errorf("/routes without source: %d %q", code, body)
+	}
+	code, _ = get(t, srv, "/routes.json")
+	if code != http.StatusNotFound {
+		t.Errorf("/routes.json without source: %d, want 404", code)
+	}
+	code, body = get(t, srv, "/metrics.json")
+	if code != http.StatusOK || strings.Contains(body, `"routes"`) {
+		t.Errorf("metrics.json routes key without source: %d\n%s", code, body)
+	}
+}
+
+// TestRouteSourceLiveTable wires a real routestats.Table as the source —
+// the integration the worker obs hookup relies on.
+func TestRouteSourceLiveTable(t *testing.T) {
+	table := routestats.New(routestats.Config{MinSamples: 1})
+	table.SetReplicas(2, []string{"a:1", "b:2"}) // step 2 = sift
+	rep := table.Find(2, "a:1")
+	rep.Begin()
+	rep.Outcome(0, true)
+
+	reg := NewRegistry()
+	reg.SetRouteSource(table.Digest)
+	digests := reg.RouteDigests()
+	if len(digests) != 2 {
+		t.Fatalf("want 2 digests, got %+v", digests)
+	}
+	if digests[0].Replica != "a:1" || digests[0].Acked != 1 {
+		t.Errorf("live digest wrong: %+v", digests[0])
+	}
+}

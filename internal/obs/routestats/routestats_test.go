@@ -1,0 +1,343 @@
+package routestats
+
+import (
+	"testing"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/wire"
+)
+
+// testClock is a manually advanced nanosecond clock.
+type testClock struct{ now int64 }
+
+func (c *testClock) Now() int64              { return c.now }
+func (c *testClock) Advance(d time.Duration) { c.now += int64(d) }
+
+func newTestTable(clk *testClock, over func(*Config)) *Table {
+	cfg := Config{
+		Alpha:              0.5,
+		AckTimeout:         100 * time.Millisecond,
+		MinSamples:         4,
+		DegradeLoss:        0.1,
+		EjectLoss:          0.6,
+		EjectFailures:      5,
+		Probation:          time.Second,
+		ProbationSuccesses: 3,
+		ProbeEvery:         8,
+		Seed:               42,
+		Now:                clk.Now,
+	}
+	if over != nil {
+		over(&cfg)
+	}
+	return New(cfg)
+}
+
+// warm feeds each replica of step enough successes to clear MinSamples.
+func warm(t *Table, step wire.Step, lat map[string]time.Duration) {
+	set := t.sets[step].Load()
+	for _, r := range set.replicas {
+		d := time.Millisecond
+		if lat != nil {
+			if v, ok := lat[r.addr]; ok {
+				d = v
+			}
+		}
+		for i := uint64(0); i < t.cfg.MinSamples; i++ {
+			r.Begin()
+			r.Outcome(d, true)
+		}
+	}
+}
+
+func TestPickDeclinesWhileColdOrEmpty(t *testing.T) {
+	clk := &testClock{}
+	tab := newTestTable(clk, nil)
+	if _, _, ok := tab.Pick(wire.StepSIFT); ok {
+		t.Fatal("pick succeeded with no replica set")
+	}
+	tab.SetReplicas(wire.StepSIFT, []string{"a", "b"})
+	if _, _, ok := tab.Pick(wire.StepSIFT); ok {
+		t.Fatal("pick succeeded while cold")
+	}
+	// Warm only one replica: the step must stay in fallback.
+	ra := tab.Find(wire.StepSIFT, "a")
+	for i := 0; i < 10; i++ {
+		ra.Begin()
+		ra.Outcome(time.Millisecond, true)
+	}
+	if _, _, ok := tab.Pick(wire.StepSIFT); ok {
+		t.Fatal("pick succeeded with one cold replica")
+	}
+	warm(tab, wire.StepSIFT, nil)
+	if _, _, ok := tab.Pick(wire.StepSIFT); !ok {
+		t.Fatal("pick declined after warm-up")
+	}
+}
+
+func TestP2CPrefersLowerLatency(t *testing.T) {
+	clk := &testClock{}
+	tab := newTestTable(clk, nil)
+	tab.SetReplicas(wire.StepSIFT, []string{"fast", "slow"})
+	warm(tab, wire.StepSIFT, map[string]time.Duration{
+		"fast": time.Millisecond,
+		"slow": 80 * time.Millisecond,
+	})
+	counts := map[string]int{}
+	for i := 0; i < 200; i++ {
+		r, _, ok := tab.Pick(wire.StepSIFT)
+		if !ok {
+			t.Fatal("pick declined")
+		}
+		counts[r.Addr()]++
+	}
+	// With two distinct candidates every comparison is fast-vs-slow, so
+	// the slow replica only sees probe traffic (none here: both healthy).
+	if counts["fast"] < 190 {
+		t.Fatalf("fast replica got %d/200 picks, want ≥190 (counts=%v)", counts["fast"], counts)
+	}
+}
+
+func TestLossDegradesAndSheds(t *testing.T) {
+	clk := &testClock{}
+	tab := newTestTable(clk, nil)
+	tab.SetReplicas(wire.StepSIFT, []string{"sick", "ok"})
+	warm(tab, wire.StepSIFT, nil)
+	sick := tab.Find(wire.StepSIFT, "sick")
+	// Two lost frames at alpha 0.5 push the loss EWMA to 0.75 → degraded
+	// would be instant, 0.75 ≥ EjectLoss 0.6 → ejected. Use one loss:
+	// EWMA 0.5 < 0.6 but ≥ DegradeLoss → degraded.
+	sick.Begin()
+	sick.Outcome(0, false)
+	if got := sick.State(); got != StateDegraded {
+		t.Fatalf("state after one loss = %v, want degraded", got)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 160; i++ {
+		r, _, ok := tab.Pick(wire.StepSIFT)
+		if !ok {
+			t.Fatal("pick declined")
+		}
+		counts[r.Addr()]++
+	}
+	// Degraded replica should only see probe ticks (every 8th pick).
+	if counts["sick"] > 160/8+2 {
+		t.Fatalf("degraded replica got %d/160 picks, want ≤ probe share (counts=%v)", counts["sick"], counts)
+	}
+	if counts["sick"] == 0 {
+		t.Fatal("probe ticks never reached the degraded replica")
+	}
+}
+
+func TestEjectionProbationReadmission(t *testing.T) {
+	clk := &testClock{}
+	tab := newTestTable(clk, nil)
+	tab.SetReplicas(wire.StepSIFT, []string{"r0", "r1"})
+	warm(tab, wire.StepSIFT, nil)
+	r0 := tab.Find(wire.StepSIFT, "r0")
+	for i := 0; i < 6; i++ { // EjectFailures=5
+		r0.Begin()
+		r0.Outcome(0, false)
+	}
+	if got := r0.State(); got != StateEjected {
+		t.Fatalf("state after consecutive failures = %v, want ejected", got)
+	}
+	// While ejected (and not failed open — r1 is healthy) it gets no
+	// traffic at all, probes included.
+	for i := 0; i < 64; i++ {
+		r, _, ok := tab.Pick(wire.StepSIFT)
+		if !ok {
+			t.Fatal("pick declined")
+		}
+		if r.Addr() == "r0" {
+			t.Fatal("ejected replica was picked before probation")
+		}
+	}
+	// After the sit-out, a pick promotes it to probation and probe ticks
+	// reach it again.
+	clk.Advance(2 * time.Second)
+	sawProbe := false
+	for i := 0; i < 64; i++ {
+		r, _, ok := tab.Pick(wire.StepSIFT)
+		if !ok {
+			t.Fatal("pick declined")
+		}
+		if r.Addr() == "r0" {
+			sawProbe = true
+		}
+	}
+	if r0.State() != StateProbation {
+		t.Fatalf("state after sit-out = %v, want probation", r0.State())
+	}
+	if !sawProbe {
+		t.Fatal("probation replica never probed")
+	}
+	// ProbationSuccesses=3 consecutive successes re-admit.
+	for i := 0; i < 3; i++ {
+		r0.Begin()
+		r0.Outcome(time.Millisecond, true)
+	}
+	if got := r0.State(); got != StateHealthy {
+		t.Fatalf("state after probation successes = %v, want healthy", got)
+	}
+	// A probation failure re-ejects.
+	for i := 0; i < 6; i++ {
+		r0.Begin()
+		r0.Outcome(0, false)
+	}
+	clk.Advance(2 * time.Second)
+	tab.Pick(wire.StepSIFT) // promote
+	for r0.State() != StateProbation {
+		tab.Pick(wire.StepSIFT)
+	}
+	r0.Begin()
+	r0.Outcome(0, false)
+	if got := r0.State(); got != StateEjected {
+		t.Fatalf("state after probation failure = %v, want ejected", got)
+	}
+}
+
+func TestFailOpenWhenAllEjected(t *testing.T) {
+	clk := &testClock{}
+	tab := newTestTable(clk, nil)
+	tab.SetReplicas(wire.StepSIFT, []string{"a", "b"})
+	warm(tab, wire.StepSIFT, nil)
+	for _, addr := range []string{"a", "b"} {
+		r := tab.Find(wire.StepSIFT, addr)
+		for i := 0; i < 6; i++ {
+			r.Begin()
+			r.Outcome(0, false)
+		}
+		if r.State() != StateEjected {
+			t.Fatalf("replica %s not ejected", addr)
+		}
+	}
+	if _, _, ok := tab.Pick(wire.StepSIFT); !ok {
+		t.Fatal("pick declined with all replicas ejected; want fail-open")
+	}
+}
+
+func TestSetReplicasPreservesSurvivorWindows(t *testing.T) {
+	clk := &testClock{}
+	tab := newTestTable(clk, nil)
+	tab.SetReplicas(wire.StepSIFT, []string{"keep", "drop"})
+	warm(tab, wire.StepSIFT, nil)
+	keep := tab.Find(wire.StepSIFT, "keep")
+	sentBefore := keep.sent.Load()
+	tab.SetReplicas(wire.StepSIFT, []string{"keep", "new"})
+	if got := tab.Find(wire.StepSIFT, "keep"); got != keep {
+		t.Fatal("surviving replica window was rebuilt")
+	}
+	if keep.sent.Load() != sentBefore {
+		t.Fatal("surviving replica counters reset")
+	}
+	if tab.Find(wire.StepSIFT, "drop") != nil {
+		t.Fatal("removed replica still resolvable")
+	}
+	nw := tab.Find(wire.StepSIFT, "new")
+	if nw == nil || nw.samples.Load() != 0 {
+		t.Fatal("new replica should start cold")
+	}
+	// A cold newcomer sends the whole step back to fallback.
+	if _, _, ok := tab.Pick(wire.StepSIFT); ok {
+		t.Fatal("pick succeeded with a cold newcomer")
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	run := func() []string {
+		clk := &testClock{}
+		tab := newTestTable(clk, nil)
+		tab.SetReplicas(wire.StepSIFT, []string{"a", "b", "c"})
+		warm(tab, wire.StepSIFT, map[string]time.Duration{
+			"a": time.Millisecond, "b": time.Millisecond, "c": time.Millisecond,
+		})
+		var picks []string
+		for i := 0; i < 100; i++ {
+			r, _, ok := tab.Pick(wire.StepSIFT)
+			if !ok {
+				t.Fatal("pick declined")
+			}
+			picks = append(picks, r.Addr())
+		}
+		return picks
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pick %d differs across identically seeded runs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDigest(t *testing.T) {
+	clk := &testClock{}
+	tab := newTestTable(clk, nil)
+	tab.SetReplicas(wire.StepSIFT, []string{"a"})
+	tab.SetReplicas(wire.StepMatching, []string{"m0", "m1"})
+	r := tab.Find(wire.StepSIFT, "a")
+	r.Begin()
+	r.Outcome(2*time.Millisecond, true)
+	r.Begin()
+	r.Outcome(0, false)
+	d := tab.Digest()
+	if len(d) != 3 {
+		t.Fatalf("digest has %d rows, want 3", len(d))
+	}
+	if d[0].Step != "sift" || d[0].Replica != "a" {
+		t.Fatalf("digest[0] = %+v, want sift/a first", d[0])
+	}
+	if d[0].Sent != 2 || d[0].Acked != 1 || d[0].Lost != 1 {
+		t.Fatalf("digest counters = %+v", d[0])
+	}
+	if !d[0].Cold {
+		t.Fatal("replica below MinSamples should report cold")
+	}
+	if d[0].LossRatio <= 0 || d[0].LatencyMicros == 0 {
+		t.Fatalf("digest EWMAs not populated: %+v", d[0])
+	}
+	if d[1].Step != "matching" || d[2].Step != "matching" {
+		t.Fatalf("digest ordering wrong: %+v", d)
+	}
+}
+
+func TestPickAllocationFree(t *testing.T) {
+	clk := &testClock{}
+	tab := newTestTable(clk, nil)
+	tab.SetReplicas(wire.StepSIFT, []string{"a", "b", "c"})
+	warm(tab, wire.StepSIFT, nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, ok := tab.Pick(wire.StepSIFT); !ok {
+			t.Fatal("pick declined")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Pick allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestOutcomeAllocationFree(t *testing.T) {
+	clk := &testClock{}
+	tab := newTestTable(clk, nil)
+	tab.SetReplicas(wire.StepSIFT, []string{"a"})
+	r := tab.Find(wire.StepSIFT, "a")
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Begin()
+		r.Outcome(time.Millisecond, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("Begin+Outcome allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestStateStringsRoundTrip(t *testing.T) {
+	for _, s := range []State{StateHealthy, StateDegraded, StateProbation, StateEjected} {
+		if ParseState(s.String()) != s {
+			t.Fatalf("ParseState(%q) != %v", s.String(), s)
+		}
+	}
+	if StateHealthy.Rank() >= StateDegraded.Rank() || StateDegraded.Rank() >= StateProbation.Rank() ||
+		StateProbation.Rank() >= StateEjected.Rank() {
+		t.Fatal("state ranks not ordered")
+	}
+}

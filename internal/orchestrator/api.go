@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"github.com/edge-mar/scatter/internal/obs/routestats"
 )
 
 // APIServer exposes the root orchestrator over HTTP/JSON — the control
@@ -202,5 +204,37 @@ func (s *APIServer) metrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "scatter_app_service_drop_ratio%s %g\n", l, t.DropRatio)
 		fmt.Fprintf(w, "scatter_app_service_queue_len%s %d\n", l, t.QueueLen)
 		fmt.Fprintf(w, "scatter_app_service_latency_p95_seconds%s %g\n", l, float64(t.P95Micros)/1e6)
+	}
+	replicas := false
+	for _, t := range tel {
+		if len(t.Replicas) > 0 {
+			replicas = true
+			break
+		}
+	}
+	if !replicas {
+		return
+	}
+	for _, name := range []string{"sent", "acked", "lost", "send_errors"} {
+		fmt.Fprintf(w, "# TYPE scatter_app_replica_%s_total counter\n", name)
+	}
+	fmt.Fprintf(w, "# TYPE scatter_app_replica_state gauge\n")
+	fmt.Fprintf(w, "# TYPE scatter_app_replica_weight gauge\n")
+	fmt.Fprintf(w, "# TYPE scatter_app_replica_loss_ratio gauge\n")
+	fmt.Fprintf(w, "# TYPE scatter_app_replica_latency_seconds gauge\n")
+	fmt.Fprintf(w, "# TYPE scatter_app_replica_observers gauge\n")
+	for _, t := range tel {
+		for _, rt := range t.Replicas {
+			l := fmt.Sprintf("{service=%q,replica=%q}", rt.Service, rt.Replica)
+			fmt.Fprintf(w, "scatter_app_replica_sent_total%s %d\n", l, rt.Sent)
+			fmt.Fprintf(w, "scatter_app_replica_acked_total%s %d\n", l, rt.Acked)
+			fmt.Fprintf(w, "scatter_app_replica_lost_total%s %d\n", l, rt.Lost)
+			fmt.Fprintf(w, "scatter_app_replica_send_errors_total%s %d\n", l, rt.SendErrors)
+			fmt.Fprintf(w, "scatter_app_replica_state%s %d\n", l, routestats.ParseState(rt.State).Rank())
+			fmt.Fprintf(w, "scatter_app_replica_weight%s %g\n", l, rt.Weight)
+			fmt.Fprintf(w, "scatter_app_replica_loss_ratio%s %g\n", l, rt.LossRatio)
+			fmt.Fprintf(w, "scatter_app_replica_latency_seconds%s %g\n", l, float64(rt.LatencyMicros)/1e6)
+			fmt.Fprintf(w, "scatter_app_replica_observers%s %d\n", l, rt.Observers)
+		}
 	}
 }

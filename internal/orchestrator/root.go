@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/edge-mar/scatter/internal/obs/routestats"
 )
 
 // Hooks notify the runtime about instance lifecycle transitions so it can
@@ -277,22 +279,32 @@ func (r *Root) Status(nodeName string) (NodeStatus, error) {
 // heartbeats of all live nodes into one per-service view: counters are
 // summed, drop ratios recomputed from the sums, queue depths summed, and
 // p95 taken as the worst replica (the replica a QoS policy must relieve).
-// Services are returned sorted by name. Nodes that only report hardware
-// telemetry contribute nothing — the pre-extension status quo.
+// Per-replica route windows (NodeStatus.Routes) merge across observing
+// nodes into ServiceTelemetry.Replicas — outcome counters sum, latency
+// and state take the worst report, weight the most pessimistic — so the
+// root can tell one sick replica from a sick service. Services are
+// returned sorted by name. Nodes that only report hardware telemetry
+// contribute nothing — the pre-extension status quo.
 func (r *Root) AppTelemetry() []ServiceTelemetry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	agg := make(map[string]*ServiceTelemetry)
+	service := func(name string) *ServiceTelemetry {
+		t, ok := agg[name]
+		if !ok {
+			t = &ServiceTelemetry{Service: name}
+			agg[name] = t
+		}
+		return t
+	}
+	type replicaKey struct{ service, replica string }
+	routes := make(map[replicaKey]*ReplicaTelemetry)
 	for _, n := range r.nodes {
 		if !n.alive {
 			continue
 		}
 		for _, st := range n.status.Services {
-			t, ok := agg[st.Service]
-			if !ok {
-				t = &ServiceTelemetry{Service: st.Service}
-				agg[st.Service] = t
-			}
+			t := service(st.Service)
 			t.Arrived += st.Arrived
 			t.Processed += st.Processed
 			t.Dropped += st.Dropped
@@ -301,12 +313,46 @@ func (r *Root) AppTelemetry() []ServiceTelemetry {
 				t.P95Micros = st.P95Micros
 			}
 		}
+		for _, rt := range n.status.Routes {
+			k := replicaKey{rt.Service, rt.Replica}
+			m, ok := routes[k]
+			if !ok {
+				m = &ReplicaTelemetry{Service: rt.Service, Replica: rt.Replica,
+					State: rt.State, Weight: rt.Weight}
+				routes[k] = m
+			} else {
+				if routestats.ParseState(rt.State).Rank() > routestats.ParseState(m.State).Rank() {
+					m.State = rt.State
+				}
+				if rt.Weight < m.Weight {
+					m.Weight = rt.Weight
+				}
+			}
+			m.Sent += rt.Sent
+			m.Acked += rt.Acked
+			m.Lost += rt.Lost
+			m.SendErrors += rt.SendErrors
+			if rt.LatencyMicros > m.LatencyMicros {
+				m.LatencyMicros = rt.LatencyMicros
+			}
+			m.Observers++
+		}
+	}
+	for _, m := range routes {
+		if m.Sent > 0 {
+			m.LossRatio = float64(m.Lost+m.SendErrors) / float64(m.Sent)
+		}
+		t := service(m.Service)
+		t.Replicas = append(t.Replicas, *m)
 	}
 	out := make([]ServiceTelemetry, 0, len(agg))
 	for _, t := range agg {
 		if t.Arrived > 0 {
 			t.DropRatio = float64(t.Dropped) / float64(t.Arrived)
 		}
+		sort.Slice(t.Replicas, func(i, j int) bool {
+			return t.Replicas[i].Replica < t.Replicas[j].Replica
+		})
 		out = append(out, *t)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })

@@ -1,0 +1,150 @@
+package orchestrator
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/edge-mar/scatter/internal/obs/routestats"
+)
+
+func TestAppTelemetryReplicaMerge(t *testing.T) {
+	r := newTestRoot(t)
+	now := time.Unix(100, 0)
+	// Two forwarders observe the same sift replicas; their windows
+	// disagree — E1 saw s1 degraded and slow, E2 still saw it healthy.
+	if err := r.Heartbeat("E1", NodeStatus{LastHeartbeat: now,
+		Services: []ServiceTelemetry{{Service: "sift", Arrived: 50, Processed: 50}},
+		Routes: []ReplicaTelemetry{
+			{Service: "sift", Replica: "10.0.0.1:7001", State: "healthy", Weight: 0.9,
+				LatencyMicros: 1000, Sent: 40, Acked: 40},
+			{Service: "sift", Replica: "10.0.0.2:7001", State: "degraded", Weight: 0.2,
+				LatencyMicros: 60_000, Sent: 40, Acked: 30, Lost: 8, SendErrors: 2},
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Heartbeat("E2", NodeStatus{LastHeartbeat: now,
+		Routes: []ReplicaTelemetry{
+			{Service: "sift", Replica: "10.0.0.2:7001", State: "healthy", Weight: 0.8,
+				LatencyMicros: 2000, Sent: 60, Acked: 58, Lost: 2},
+		}}); err != nil {
+		t.Fatal(err)
+	}
+
+	tel := r.AppTelemetry()
+	if len(tel) != 1 || tel[0].Service != "sift" {
+		t.Fatalf("telemetry = %+v", tel)
+	}
+	reps := tel[0].Replicas
+	if len(reps) != 2 {
+		t.Fatalf("replicas = %+v, want 2", reps)
+	}
+	if reps[0].Replica != "10.0.0.1:7001" || reps[1].Replica != "10.0.0.2:7001" {
+		t.Fatalf("replicas not sorted by address: %+v", reps)
+	}
+	sick := reps[1]
+	if sick.Sent != 100 || sick.Acked != 88 || sick.Lost != 10 || sick.SendErrors != 2 {
+		t.Errorf("sick counters not summed: %+v", sick)
+	}
+	if sick.State != "degraded" {
+		t.Errorf("merged state = %q, want the worst report (degraded)", sick.State)
+	}
+	if sick.Weight != 0.2 {
+		t.Errorf("merged weight = %g, want the most pessimistic 0.2", sick.Weight)
+	}
+	if sick.LatencyMicros != 60_000 {
+		t.Errorf("merged latency = %d, want the worst 60000", sick.LatencyMicros)
+	}
+	if sick.LossRatio != 0.12 {
+		t.Errorf("loss ratio = %g, want 0.12 recomputed from sums", sick.LossRatio)
+	}
+	if sick.Observers != 2 || reps[0].Observers != 1 {
+		t.Errorf("observer counts wrong: %+v", reps)
+	}
+}
+
+// TestAppTelemetryRoutesWithoutLocalService covers the forwarder-only
+// node: it routes to a service it does not host, so the service entry is
+// created purely from the route windows.
+func TestAppTelemetryRoutesWithoutLocalService(t *testing.T) {
+	r := newTestRoot(t)
+	if err := r.Heartbeat("E1", NodeStatus{LastHeartbeat: time.Unix(100, 0),
+		Routes: []ReplicaTelemetry{
+			{Service: "lsh", Replica: "10.0.0.3:7002", State: "ejected",
+				Sent: 10, Lost: 10, LossRatio: 1},
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	tel := r.AppTelemetry()
+	if len(tel) != 1 || tel[0].Service != "lsh" || len(tel[0].Replicas) != 1 {
+		t.Fatalf("telemetry = %+v", tel)
+	}
+	if got := tel[0].Replicas[0]; got.State != "ejected" || got.LossRatio != 1 {
+		t.Errorf("route-only replica wrong: %+v", got)
+	}
+}
+
+func TestRouteTelemetryConversion(t *testing.T) {
+	if got := RouteTelemetry(nil); got != nil {
+		t.Fatalf("empty digest should convert to nil, got %+v", got)
+	}
+	got := RouteTelemetry([]routestats.RouteDigest{
+		{Step: "sift", Replica: "a:1", State: "probation", Weight: 0.5,
+			LatencyMicros: 700, LossRatio: 0.1, Sent: 9, Acked: 8, Lost: 1},
+	})
+	if len(got) != 1 {
+		t.Fatalf("converted = %+v", got)
+	}
+	want := ReplicaTelemetry{Service: "sift", Replica: "a:1", State: "probation",
+		Weight: 0.5, LatencyMicros: 700, LossRatio: 0.1, Sent: 9, Acked: 8, Lost: 1}
+	if got[0] != want {
+		t.Errorf("converted = %+v, want %+v", got[0], want)
+	}
+}
+
+func TestAPIMetricsReplicaLines(t *testing.T) {
+	srv, _ := apiFixture(t)
+	for _, n := range testbedNodes() {
+		if code := doJSON(t, "POST", srv.URL+"/api/v1/nodes", n, nil); code != http.StatusCreated {
+			t.Fatalf("register %s: %d", n.Name, code)
+		}
+	}
+	status := NodeStatus{Routes: []ReplicaTelemetry{
+		{Service: "sift", Replica: "10.0.0.2:7001", State: "degraded", Weight: 0.25,
+			LatencyMicros: 50_000, LossRatio: 0.2, Sent: 50, Acked: 40, Lost: 10},
+	}}
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/nodes/E1/heartbeat", status, nil); code != http.StatusNoContent {
+		t.Fatalf("heartbeat with routes: %d", code)
+	}
+
+	var tel []ServiceTelemetry
+	if code := doJSON(t, "GET", srv.URL+"/api/v1/telemetry", nil, &tel); code != http.StatusOK {
+		t.Fatalf("telemetry: %d", code)
+	}
+	if len(tel) != 1 || len(tel[0].Replicas) != 1 || tel[0].Replicas[0].Observers != 1 {
+		t.Fatalf("telemetry = %+v", tel)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`scatter_app_replica_sent_total{service="sift",replica="10.0.0.2:7001"} 50`,
+		`scatter_app_replica_lost_total{service="sift",replica="10.0.0.2:7001"} 10`,
+		`scatter_app_replica_state{service="sift",replica="10.0.0.2:7001"} 1`,
+		`scatter_app_replica_weight{service="sift",replica="10.0.0.2:7001"} 0.25`,
+		`scatter_app_replica_loss_ratio{service="sift",replica="10.0.0.2:7001"} 0.2`,
+		`scatter_app_replica_latency_seconds{service="sift",replica="10.0.0.2:7001"} 0.05`,
+		`scatter_app_replica_observers{service="sift",replica="10.0.0.2:7001"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+}

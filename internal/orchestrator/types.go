@@ -21,6 +21,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"github.com/edge-mar/scatter/internal/obs/routestats"
 )
 
 // NodeInfo describes a worker node's immutable capabilities.
@@ -62,6 +64,12 @@ type NodeStatus struct {
 	// Services is the per-service application telemetry digest hosted on
 	// this node (empty when the node exports hardware metrics only).
 	Services []ServiceTelemetry `json:"services,omitempty"`
+	// Routes is the node's forwarder-side view of downstream replicas:
+	// one entry per (service, replica address) routing window. Where
+	// Services reports how this node's own workers fare, Routes reports
+	// how the replicas this node sends to respond — the signal that lets
+	// the root tell a sick replica from a sick service.
+	Routes []ReplicaTelemetry `json:"routes,omitempty"`
 }
 
 // ServiceTelemetry is one service's application-level digest as carried in
@@ -75,6 +83,56 @@ type ServiceTelemetry struct {
 	DropRatio float64 `json:"drop_ratio"`
 	QueueLen  int64   `json:"queue_len"`
 	P95Micros uint64  `json:"p95_us"`
+	// Replicas is the per-replica breakdown merged from the forwarder
+	// windows every live node reported (AppTelemetry fills it; heartbeats
+	// carry the raw windows in NodeStatus.Routes instead).
+	Replicas []ReplicaTelemetry `json:"replicas,omitempty"`
+}
+
+// ReplicaTelemetry is one downstream replica as seen by the forwarders
+// routing to it: the live window summary (EWMA latency, loss ratio,
+// health state, selection weight) plus the raw outcome counters. In a
+// heartbeat it is one node's view; in AppTelemetry it is the merge
+// across all observing nodes.
+type ReplicaTelemetry struct {
+	Service       string  `json:"service"`
+	Replica       string  `json:"replica"` // the replica's ingress address
+	State         string  `json:"state"`
+	Weight        float64 `json:"weight"`
+	LatencyMicros uint64  `json:"latency_us"`
+	LossRatio     float64 `json:"loss_ratio"`
+	Sent          uint64  `json:"sent"`
+	Acked         uint64  `json:"acked"`
+	Lost          uint64  `json:"lost"`
+	SendErrors    uint64  `json:"send_errors"`
+	// Observers is how many live nodes reported a window for this
+	// replica (set by the root's merge, zero in raw heartbeats).
+	Observers int `json:"observers,omitempty"`
+}
+
+// RouteTelemetry converts a router's route-window digest into the
+// heartbeat representation — what a node agent puts in
+// NodeStatus.Routes.
+func RouteTelemetry(digests []routestats.RouteDigest) []ReplicaTelemetry {
+	if len(digests) == 0 {
+		return nil
+	}
+	out := make([]ReplicaTelemetry, 0, len(digests))
+	for _, d := range digests {
+		out = append(out, ReplicaTelemetry{
+			Service:       d.Step,
+			Replica:       d.Replica,
+			State:         d.State,
+			Weight:        d.Weight,
+			LatencyMicros: d.LatencyMicros,
+			LossRatio:     d.LossRatio,
+			Sent:          d.Sent,
+			Acked:         d.Acked,
+			Lost:          d.Lost,
+			SendErrors:    d.SendErrors,
+		})
+	}
+	return out
 }
 
 // Requirements constrain where a microservice may be placed.

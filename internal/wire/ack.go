@@ -1,0 +1,59 @@
+// Hop acknowledgements: the 16-byte control message a receiving service
+// returns to the previous hop when a frame carrying flagAckWanted is
+// admitted. Acks are sent on admission — after the frame clears the
+// drop-if-busy check (scAtteR) or is enqueued into the sidecar queue
+// (scAtteR++) — so a missing ack means the frame was lost in transit or
+// dropped at the door, and the ack round-trip measures the hop without
+// folding in processing time. The message is deliberately tiny and
+// fixed-size: it shares the data sockets with frames, distinguished by
+// its own magic.
+package wire
+
+import "encoding/binary"
+
+// Ack codec constants.
+const (
+	ackMagic = 0x5CAB // distinct from the frame magic 0x5CA7
+	// AckSize is the exact encoded size of a hop acknowledgement:
+	// magic(2) version(1) clientID(4) frameNo(8) step(1).
+	AckSize = 2 + 1 + 4 + 8 + 1
+)
+
+// AppendAck appends the encoded acknowledgement for (clientID, frameNo,
+// step) to buf and returns the extended buffer. With AckSize spare
+// capacity the call performs zero allocations.
+func AppendAck(buf []byte, clientID uint32, frameNo uint64, step Step) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, ackMagic)
+	buf = append(buf, version)
+	buf = binary.BigEndian.AppendUint32(buf, clientID)
+	buf = binary.BigEndian.AppendUint64(buf, frameNo)
+	buf = append(buf, byte(step))
+	return buf
+}
+
+// IsAck reports whether data is a hop acknowledgement — the cheap
+// dispatch test a receive handler runs before frame decoding.
+func IsAck(data []byte) bool {
+	return len(data) == AckSize && binary.BigEndian.Uint16(data) == ackMagic
+}
+
+// ParseAck decodes an acknowledgement. ok is false when data is not a
+// well-formed ack of a supported version.
+func ParseAck(data []byte) (clientID uint32, frameNo uint64, step Step, ok bool) {
+	if !IsAck(data) || data[2] != version {
+		return 0, 0, 0, false
+	}
+	step = Step(data[15])
+	if !step.Valid() {
+		return 0, 0, 0, false
+	}
+	return binary.BigEndian.Uint32(data[3:]), binary.BigEndian.Uint64(data[7:]), step, true
+}
+
+// AckKey packs an ack identity into one map key for the sender's
+// pending table. Frame numbers occupy the high bits; collisions would
+// need a client ID aliasing a frame number ~2^52 apart, which a pending
+// window bounded by the ack timeout never holds simultaneously.
+func AckKey(clientID uint32, frameNo uint64, step Step) uint64 {
+	return frameNo<<12 ^ uint64(clientID)<<4 ^ uint64(step)
+}

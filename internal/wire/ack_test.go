@@ -1,0 +1,94 @@
+package wire
+
+import "testing"
+
+func TestAckRoundTrip(t *testing.T) {
+	buf := AppendAck(nil, 7, 123456, StepLSH)
+	if len(buf) != AckSize {
+		t.Fatalf("encoded ack is %d bytes, want %d", len(buf), AckSize)
+	}
+	if !IsAck(buf) {
+		t.Fatal("IsAck rejects a valid ack")
+	}
+	cid, fn, step, ok := ParseAck(buf)
+	if !ok || cid != 7 || fn != 123456 || step != StepLSH {
+		t.Fatalf("ParseAck = (%d, %d, %v, %v)", cid, fn, step, ok)
+	}
+}
+
+func TestAckRejectsMalformed(t *testing.T) {
+	valid := AppendAck(nil, 1, 2, StepSIFT)
+	cases := map[string][]byte{
+		"short":       valid[:AckSize-1],
+		"long":        append(append([]byte(nil), valid...), 0),
+		"frame magic": func() []byte { b := append([]byte(nil), valid...); b[0], b[1] = 0x5C, 0xA7; return b }(),
+		"bad version": func() []byte { b := append([]byte(nil), valid...); b[2] = 99; return b }(),
+		"bad step":    func() []byte { b := append([]byte(nil), valid...); b[15] = 200; return b }(),
+	}
+	for name, data := range cases {
+		if name != "short" && name != "long" && !IsAck(data) && name != "frame magic" {
+			// IsAck only checks length+magic; version/step failures must
+			// come from ParseAck.
+			t.Fatalf("%s: IsAck should accept, ParseAck should reject", name)
+		}
+		if _, _, _, ok := ParseAck(data); ok {
+			t.Fatalf("%s: ParseAck accepted malformed data", name)
+		}
+	}
+}
+
+func TestAckNotConfusedWithFrame(t *testing.T) {
+	fr := Frame{ClientID: 1, FrameNo: 2, Step: StepSIFT, Payload: []byte("x")}
+	data, err := fr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsAck(data) {
+		t.Fatal("frame encoding classified as ack")
+	}
+	ack := AppendAck(nil, 1, 2, StepSIFT)
+	var dec Frame
+	if err := dec.UnmarshalBinary(ack); err == nil {
+		t.Fatal("ack decoded as a frame")
+	}
+}
+
+func TestAckWantedFlagRoundTrip(t *testing.T) {
+	fr := Frame{ClientID: 9, FrameNo: 4, Step: StepEncoding, AckWanted: true, Payload: []byte("p")}
+	data, err := fr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Frame
+	if err := dec.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !dec.AckWanted {
+		t.Fatal("AckWanted lost in round trip")
+	}
+	fr.AckWanted = false
+	data, _ = fr.MarshalBinary()
+	dec = Frame{}
+	if err := dec.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if dec.AckWanted {
+		t.Fatal("AckWanted set on a frame that never asked")
+	}
+	// Reset must clear the flag so pooled envelopes don't leak it.
+	fr.AckWanted = true
+	fr.Reset()
+	if fr.AckWanted {
+		t.Fatal("Reset kept AckWanted")
+	}
+}
+
+func TestAckAppendZeroAlloc(t *testing.T) {
+	buf := make([]byte, 0, AckSize)
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = AppendAck(buf[:0], 3, 99, StepMatching)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendAck allocates %.1f per op with capacity, want 0", allocs)
+	}
+}

@@ -107,6 +107,7 @@ type Frame struct {
 	ClientAddr    netip.AddrPort // where the final result is delivered
 	Step          Step
 	Stateless     bool   // scAtteR++: sift state rides in the payload
+	AckWanted     bool   // sender requests a hop acknowledgement on admission
 	CaptureMicros uint64 // client capture timestamp (µs since epoch/run start)
 	Payload       []byte
 	Stages        []StageRecord // scAtteR++ sidecar analytics
@@ -124,9 +125,13 @@ const (
 	fixedHdrBytes = 2 + 1 + 4 + 8 + 1 + 1 + 8 + 1 // magic..addrLen (before addr)
 
 	// flagStateless marks scAtteR++ frames carrying sift state; flagSpans
-	// marks the presence of the versioned span block.
+	// marks the presence of the versioned span block; flagAckWanted asks
+	// the receiving hop to acknowledge admission (the route-statistics
+	// loss signal). Decoders ignore unknown flag bits, so each addition
+	// stays backward compatible within wire version 1.
 	flagStateless = 1 << 0
 	flagSpans     = 1 << 1
+	flagAckWanted = 1 << 2
 
 	// spanBlockVersion versions the span block independently of the
 	// envelope, so tracing can evolve without a wire version bump.
@@ -207,6 +212,9 @@ func (f *Frame) AppendBinary(buf []byte) ([]byte, error) {
 	}
 	if len(f.Spans) > 0 {
 		flags |= flagSpans
+	}
+	if f.AckWanted {
+		flags |= flagAckWanted
 	}
 	buf = append(buf, flags)
 	buf = binary.BigEndian.AppendUint64(buf, f.CaptureMicros)
@@ -307,6 +315,7 @@ func (f *Frame) unmarshal(data []byte, copyPayload bool) error {
 		return err
 	}
 	f.Stateless = flags&flagStateless != 0
+	f.AckWanted = flags&flagAckWanted != 0
 	if f.CaptureMicros, err = r.u64(); err != nil {
 		return err
 	}

@@ -17,7 +17,9 @@
 //   - Orchestration: NewOrchestrator, SLA, and the HTTP control plane.
 //   - Observability: per-frame Span tracing across sim and real runtime,
 //     the live ObsRegistry with Prometheus/JSON exposition (ServeObs),
-//     and Chrome trace export (WriteChromeTrace) for Perfetto.
+//     per-replica routing windows with QoS-aware health (StatsRouter,
+//     RouteDigest, the /routes debug view), and Chrome trace export
+//     (WriteChromeTrace) for Perfetto.
 //   - Experiments: the Fig2…Fig12 and Headline runners regenerate the
 //     paper's evaluation.
 //
@@ -37,6 +39,7 @@ import (
 	"github.com/edge-mar/scatter/internal/metrics"
 	"github.com/edge-mar/scatter/internal/netem"
 	"github.com/edge-mar/scatter/internal/obs"
+	"github.com/edge-mar/scatter/internal/obs/routestats"
 	"github.com/edge-mar/scatter/internal/orchestrator"
 	"github.com/edge-mar/scatter/internal/testbed"
 	"github.com/edge-mar/scatter/internal/trace"
@@ -146,6 +149,21 @@ type (
 	Router = agent.Router
 	// StaticRouter is a fixed round-robin routing table.
 	StaticRouter = agent.StaticRouter
+	// StatsRouter picks replicas by live health windows
+	// (power-of-two-choices over ack/loss EWMAs), falling back to the
+	// StaticRouter order while windows are cold.
+	StatsRouter = agent.StatsRouter
+	// RouteStatsConfig tunes the routing windows (EWMA alpha, ack
+	// timeout, health thresholds, probation).
+	RouteStatsConfig = routestats.Config
+	// RouteState is a replica's health state (healthy, degraded,
+	// probation, ejected).
+	RouteState = routestats.State
+	// RouteDigest is the snapshot of one replica's routing window.
+	RouteDigest = routestats.RouteDigest
+	// ReplicaTelemetry is the per-replica route breakdown carried in
+	// heartbeats and merged by the orchestrator's telemetry view.
+	ReplicaTelemetry = orchestrator.ReplicaTelemetry
 	// Client streams frames into a deployment.
 	Client = agent.Client
 	// ClientConfig configures a streaming client.
@@ -162,6 +180,26 @@ func StartClient(cfg ClientConfig) (*Client, error) { return agent.StartClient(c
 
 // NewStaticRouter builds a fixed routing table.
 func NewStaticRouter(hops map[Step][]string) *StaticRouter { return agent.NewStaticRouter(hops) }
+
+// Replica health states, ordered from best to worst.
+const (
+	RouteHealthy   = routestats.StateHealthy
+	RouteDegraded  = routestats.StateDegraded
+	RouteProbation = routestats.StateProbation
+	RouteEjected   = routestats.StateEjected
+)
+
+// NewStatsRouter builds a stats-driven router over the same hops table a
+// StaticRouter takes; zero-value cfg fields get defaults. Install it as a
+// worker's Router and wire its Table's digest into the ObsRegistry via
+// SetRouteSource to expose /routes.
+func NewStatsRouter(hops map[Step][]string, cfg RouteStatsConfig) *StatsRouter {
+	return agent.NewStatsRouter(hops, cfg)
+}
+
+// WriteRouteTable renders route digests as the human-readable table the
+// /routes debug endpoint serves.
+func WriteRouteTable(w io.Writer, digests []RouteDigest) { obs.WriteRouteTable(w, digests) }
 
 // RPCStateFetcher connects matching to a remote sift's state store.
 func RPCStateFetcher(addr string, timeout time.Duration) core.StateFetcher {
