@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-vision bench-dataplane bench-batching bench-routing fuzz figures examples chaos clean
+.PHONY: all build vet test race cover bench bench-vision bench-dataplane bench-batching bench-routing bench-fastpath fuzz figures examples chaos clean
 
 all: build test
 
@@ -19,7 +19,7 @@ vet:
 # compiling and running without paying full measurement time.
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/obs/... ./internal/agent ./internal/transport ./internal/netem ./internal/vision/...
+	$(GO) test -race ./internal/core ./internal/obs/... ./internal/agent ./internal/transport ./internal/netem ./internal/vision/...
 	$(GO) test -run '^$$' -bench 'WorkerHop|DataplaneEncode' -benchtime=1x ./internal/agent
 
 race:
@@ -62,6 +62,14 @@ bench-batching:
 bench-routing:
 	$(GO) test -run '^$$' -bench 'ReplicaPick' -benchmem ./internal/agent \
 		| $(GO) run ./cmd/benchjson -o BENCH_routing.json -note "make bench-routing"
+
+# Tracker-gated fast path: per-frame cost of a full recognition pass vs
+# a gate skip on the synthetic clip, exported to BENCH_fastpath.json
+# (full/tracked sub-benchmarks; the skip answers from the published
+# verdict without running sift→encoding→lsh→matching).
+bench-fastpath:
+	$(GO) test -run '^$$' -bench 'FastPathFrame' -benchmem ./internal/core \
+		| $(GO) run ./cmd/benchjson -o BENCH_fastpath.json -note "make bench-fastpath"
 
 # Smoke-runs every vision kernel benchmark once at 1, 4, and 8 cores.
 # Worker pools size themselves from GOMAXPROCS, so each -cpu row measures

@@ -25,6 +25,8 @@
 //	  "trace_spans": true,
 //	  "batch_max": 4, "batch_slack_ms": 10,
 //	  "route_stats": {"enabled": true, "ack_timeout_ms": 250},
+//	  "fast_path": {"enabled": true, "refresh_every": 30, "min_confidence": 0.5},
+//	  "recognition_cache": {"enabled": true, "ttl_ms": 500, "capacity": 1024},
 //	  "fault": {"packet_loss": 0.01, "delay_ms": 5, "seed": 42}
 //	}
 //
@@ -36,7 +38,12 @@
 // upgrades forwarding from static round-robin to stats-driven replica
 // selection over live per-replica windows (hop acks feed EWMA latency
 // and loss; unhealthy replicas are shed, ejected, and re-admitted after
-// probation), published on the obs endpoints and in heartbeats; fault
+// probation), published on the obs endpoints and in heartbeats;
+// fast_path arms the tracker-gated recognition fast path (confident
+// frames answered at primary from matching's published verdicts, skipping
+// sift→matching; scatter_fastpath_* series on the obs endpoints);
+// recognition_cache shares LSH candidate lists across clients keyed by
+// the query's LSH sketch; fault
 // (all fields optional) injects drops, compounding per-fragment loss,
 // delay, jitter, and duplication on this node's outbound traffic for
 // chaos experiments.
@@ -95,6 +102,33 @@ func (f *faultSpec) policy() transport.FaultPolicy {
 		Jitter:     time.Duration(f.JitterMs) * time.Millisecond,
 		Duplicate:  f.Duplicate,
 	}
+}
+
+// fastPathSpec arms the tracker-gated recognition fast path on this node
+// (effective when primary and matching are co-located here: matching
+// publishes per-client verdicts, primary answers confident frames without
+// running sift→matching). Zero fields take the core.FastPathConfig
+// defaults. min_hits and tracker_idle_timeout_ms are tracker-lifecycle
+// knobs applied to matching whenever this block is present, even with
+// enabled=false.
+type fastPathSpec struct {
+	Enabled              bool    `json:"enabled"`
+	MinConfidence        float64 `json:"min_confidence,omitempty"`
+	RefreshEvery         int     `json:"refresh_every,omitempty"`
+	SkipDecay            float64 `json:"skip_decay,omitempty"`
+	MinHits              int     `json:"min_hits,omitempty"`
+	TrackerIdleTimeoutMs int     `json:"tracker_idle_timeout_ms,omitempty"`
+}
+
+// recognitionCacheSpec arms the cross-client recognition cache at the lsh
+// service: candidate lists are keyed by the query's LSH sketch so
+// co-located clients viewing the same scene share results. Zero fields
+// take the core.RecognitionCacheConfig defaults (500ms TTL, 1024
+// entries).
+type recognitionCacheSpec struct {
+	Enabled  bool `json:"enabled"`
+	TTLMs    int  `json:"ttl_ms,omitempty"`
+	Capacity int  `json:"capacity,omitempty"`
 }
 
 // routeStatsSpec arms stats-driven routing. Zero fields take the
@@ -165,6 +199,14 @@ type nodeConfig struct {
 	// probation re-admission. The windows are exported on the obs
 	// endpoints (scatter_route_*, /routes) and in heartbeats.
 	RouteStats *routeStatsSpec `json:"route_stats,omitempty"`
+	// FastPath, when enabled, arms the tracker-gated recognition fast
+	// path: confident frames are answered at primary from matching's
+	// published verdicts and skip sift→encoding→lsh→matching. Exported as
+	// scatter_fastpath_* on the obs endpoints.
+	FastPath *fastPathSpec `json:"fast_path,omitempty"`
+	// RecognitionCache, when enabled, shares LSH candidate lists across
+	// clients keyed by the query's LSH sketch.
+	RecognitionCache *recognitionCacheSpec `json:"recognition_cache,omitempty"`
 }
 
 // telemetryDigest converts the node's live registry digest into the
@@ -255,6 +297,33 @@ func main() {
 			"ack_timeout", statsRouter.AckTimeout())
 	}
 
+	// Optional tracker-gated fast path + shared recognition cache: the
+	// gate is shared by the primary (reader) and matching (writer) workers
+	// on this node; the cache sits behind the lsh worker.
+	var gate *core.FastPathGate
+	if cfg.FastPath != nil && cfg.FastPath.Enabled {
+		gate = core.NewFastPathGate(core.FastPathConfig{
+			Enabled:       true,
+			MinConfidence: cfg.FastPath.MinConfidence,
+			RefreshEvery:  cfg.FastPath.RefreshEvery,
+			SkipDecay:     cfg.FastPath.SkipDecay,
+			IdleTimeout:   time.Duration(cfg.FastPath.TrackerIdleTimeoutMs) * time.Millisecond,
+		})
+		log.Info("fast path armed",
+			"refresh_every", cfg.FastPath.RefreshEvery,
+			"min_confidence", cfg.FastPath.MinConfidence)
+	}
+	var cache *core.RecognitionCache
+	if cfg.RecognitionCache != nil && cfg.RecognitionCache.Enabled {
+		cache = core.NewRecognitionCache(core.RecognitionCacheConfig{
+			TTL:      time.Duration(cfg.RecognitionCache.TTLMs) * time.Millisecond,
+			Capacity: cfg.RecognitionCache.Capacity,
+		}, model.Index)
+		log.Info("recognition cache armed",
+			"ttl_ms", cfg.RecognitionCache.TTLMs,
+			"capacity", cfg.RecognitionCache.Capacity)
+	}
+
 	// Optional fault injection: every worker's outbound traffic goes
 	// through the same policy, like tc/netem qdiscs on the node's egress.
 	var wrapEndpoint func(transport.Endpoint) transport.Endpoint
@@ -286,6 +355,20 @@ func main() {
 	if statsRouter != nil {
 		reg.SetRouteSource(statsRouter.Table().Digest)
 	}
+	if gate != nil || cache != nil {
+		// Gate and cache methods are nil-receiver-safe, so a node running
+		// only one of the two exposes zeros for the other.
+		reg.SetFastPathSource(func() obs.FastPathDigest {
+			return obs.FastPathDigest{
+				Skips:       gate.Skips(),
+				Fulls:       gate.Fulls(),
+				Clients:     gate.ClientCount(),
+				CacheHits:   cache.Hits(),
+				CacheMisses: cache.Misses(),
+				CacheLen:    cache.Len(),
+			}
+		})
+	}
 	hostLabel := ""
 	if cfg.Node != nil {
 		hostLabel = cfg.Node.Name
@@ -302,13 +385,17 @@ func main() {
 		var proc core.Processor
 		switch step {
 		case wire.StepPrimary:
-			proc = core.NewPrimary(cfg.AnalysisWidth, cfg.AnalysisHeight)
+			p := core.NewPrimary(cfg.AnalysisWidth, cfg.AnalysisHeight)
+			p.SetFastPath(gate)
+			proc = p
 		case wire.StepSIFT:
 			proc = core.NewSIFT(150, stateless)
 		case wire.StepEncoding:
 			proc = core.NewEncoding(model.PCA, model.Encoder)
 		case wire.StepLSH:
-			proc = core.NewLSHService(model.Index, 3)
+			l := core.NewLSHService(model.Index, 3)
+			l.Cache = cache
+			proc = l
 		case wire.StepMatching:
 			var fetch core.StateFetcher
 			if !stateless {
@@ -318,7 +405,13 @@ func main() {
 				}
 				fetch = agent.RPCStateFetcherContext(rootCtx, svc.SiftRPC, 2*time.Second)
 			}
-			proc = core.NewMatching(model.Objects, fetch)
+			m := core.NewMatching(model.Objects, fetch)
+			m.SetFastPath(gate)
+			if cfg.FastPath != nil {
+				m.SetMinHits(cfg.FastPath.MinHits)
+				m.SetTrackerIdleTimeout(time.Duration(cfg.FastPath.TrackerIdleTimeoutMs) * time.Millisecond)
+			}
+			proc = m
 		}
 		w, err := agent.StartWorker(agent.WorkerConfig{
 			Step:           step,

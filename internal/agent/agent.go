@@ -104,6 +104,10 @@ type WorkerStats struct {
 	ProcMicros       uint64 // total processing time
 	Batches          uint64 // batch dispatches through the BatchHandler
 	BatchedFrames    uint64 // frames those dispatches carried
+	// FastPathSkips counts frames this worker short-circuited to StepDone
+	// ahead of the matching stage — the primary worker's tracker-gated
+	// fast path answering from published verdicts.
+	FastPathSkips uint64
 }
 
 // WorkerConfig configures one service worker.
@@ -222,6 +226,7 @@ type Worker struct {
 	droppedShutdown, forwardRetries atomic.Uint64
 	queueMicros, procMicros         atomic.Uint64
 	batches, batchedFrames          atomic.Uint64
+	fastSkips                       atomic.Uint64
 
 	// Steady-state pools (DESIGN.md "Buffer ownership & pooling"): every
 	// inbound frame decodes into a recycled envelope and every outbound
@@ -459,6 +464,7 @@ func (w *Worker) Stats() WorkerStats {
 		ProcMicros:       w.procMicros.Load(),
 		Batches:          w.batches.Load(),
 		BatchedFrames:    w.batchedFrames.Load(),
+		FastPathSkips:    w.fastSkips.Load(),
 	}
 }
 
@@ -868,6 +874,12 @@ func (w *Worker) complete(fr *wire.Frame, err error, enqueuedAt, start, end time
 	}
 	conn := box.ep
 	if fr.Step == wire.StepDone {
+		if w.cfg.Step != wire.StepMatching {
+			// Only matching legitimately terminates the pipeline; an
+			// earlier stage arriving at StepDone short-circuited through
+			// the fast-path gate.
+			w.fastSkips.Add(1)
+		}
 		if !fr.ClientAddr.IsValid() {
 			w.errorsCount.Add(1)
 			return
@@ -1095,6 +1107,10 @@ type ClientResult struct {
 	// Spans carries the per-frame tracing spans (present when workers run
 	// with TraceSpans); convert with obs.FromWire for export.
 	Spans []wire.SpanRecord
+	// FastPath reports that this result was answered by the tracker-gated
+	// fast path (detections come from smoothed tracks, not a fresh
+	// recognition pass).
+	FastPath bool
 }
 
 // Client streams frames and receives processed results.
@@ -1240,6 +1256,7 @@ func (c *Client) onResult(data []byte, from net.Addr) {
 		Detections: p.Detections,
 		Stages:     append([]wire.StageRecord(nil), fr.Stages...),
 		Spans:      append([]wire.SpanRecord(nil), fr.Spans...),
+		FastPath:   p.FastPath,
 	}
 	select {
 	case c.results <- res:

@@ -21,6 +21,11 @@ type Payload struct {
 	Fisher     []float32
 	Candidates []Candidate
 	Detections []Detection
+	// FastPath marks a result answered by the tracker-gated fast path
+	// (detections came from smoothed tracks, not a fresh recognition
+	// pass). It is a one-bit flag with no body, so fast-path and full
+	// results with the same detections differ only in this bit.
+	FastPath bool
 }
 
 // ImagePayload is an 8-bit grayscale image.
@@ -63,6 +68,7 @@ const (
 	secFisher
 	secCandidates
 	secDetections
+	secFastPath
 )
 
 // Codec limits guard against corrupt inputs.
@@ -93,6 +99,9 @@ func (p *Payload) Encode() []byte {
 	}
 	if p.Detections != nil {
 		flags |= secDetections
+	}
+	if p.FastPath {
+		flags |= secFastPath
 	}
 	buf := []byte{flags}
 	le := binary.LittleEndian
@@ -184,7 +193,7 @@ func DecodePayload(data []byte) (*Payload, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Payload{}
+	p := &Payload{FastPath: flags&secFastPath != 0}
 	if flags&secImage != 0 {
 		w, err := r.u32()
 		if err != nil {

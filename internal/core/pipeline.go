@@ -93,6 +93,36 @@ type Options struct {
 	// with the engine's virtual clock, and a zero Seed is drawn from the
 	// engine's deterministic RNG so runs stay reproducible.
 	RouteStats routestats.Config
+	// FastPath mirrors the runtime's tracker-gated recognition fast path
+	// (core.FastPathGate): once a client's tracker is warm, frames are
+	// answered at the primary stage for only GateCost and skip
+	// sift→encoding→lsh→matching entirely. Disabled (the zero value),
+	// scheduling is bit-identical to a build without the option.
+	FastPath FastPathSimOptions
+}
+
+// FastPathSimOptions mirrors FastPathConfig on the simulator's virtual
+// clock. The sim has no real frames or trackers, so warm-up is modelled
+// on delivered full recognitions: after WarmHits consecutive full results
+// a client's track is warm; warm frames skip, except every
+// RefreshEvery-th frame (drift-bounding refresh) and after TrackTTL
+// without any result (track loss — e.g. the client stalled or its frames
+// were dropped).
+type FastPathSimOptions struct {
+	Enabled bool
+	// WarmHits is how many full recognitions must be delivered back-to-
+	// back before the gate starts skipping (default 3 — the confidence
+	// EWMA's rise time at the default gain).
+	WarmHits int
+	// RefreshEvery forces a full recognition at least every N-th frame
+	// per client (default 30).
+	RefreshEvery int
+	// TrackTTL is how long a track survives without any delivered result
+	// before the warm state resets (default 2s).
+	TrackTTL time.Duration
+	// GateCost is the primary-stage compute a skipped frame pays (gate
+	// lookup + verdict copy) instead of the full pipeline (default 100µs).
+	GateCost time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -125,6 +155,20 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BatchSlack <= 0 {
 		o.BatchSlack = 10 * time.Millisecond
+	}
+	if o.FastPath.Enabled {
+		if o.FastPath.WarmHits <= 0 {
+			o.FastPath.WarmHits = 3
+		}
+		if o.FastPath.RefreshEvery <= 0 {
+			o.FastPath.RefreshEvery = 30
+		}
+		if o.FastPath.TrackTTL <= 0 {
+			o.FastPath.TrackTTL = 2 * time.Second
+		}
+		if o.FastPath.GateCost <= 0 {
+			o.FastPath.GateCost = 100 * time.Microsecond
+		}
 	}
 	return o
 }
@@ -182,6 +226,16 @@ type simFrame struct {
 	// in flight to (WeightedRouting); the admission outcome resolves it.
 	hopRep    *routestats.Replica
 	hopSentAt sim.Time
+	// fast marks a frame answered by the fast-path gate at primary; its
+	// delivery must not bump the client's warm state.
+	fast bool
+}
+
+// simTrack is the per-client warm state of the simulated fast path.
+type simTrack struct {
+	fulls    int // consecutive delivered full recognitions
+	skips    int // frames skipped since the last full recognition
+	lastFull sim.Time
 }
 
 type stateKey struct {
@@ -251,6 +305,10 @@ type Pipeline struct {
 	// virtual clock (WeightedRouting); nil when routing is plain RR.
 	routes *routestats.Table
 	repOf  map[*Instance]*routestats.Replica
+
+	// fastTracks is the per-client warm state of the simulated fast path;
+	// nil when Options.FastPath is disabled.
+	fastTracks map[uint32]*simTrack
 }
 
 // NewPipeline deploys the pipeline per the placement. It panics on
@@ -291,6 +349,9 @@ func NewPipeline(eng *sim.Engine, fabric *Fabric, col *metrics.Collector,
 				p.machines = append(p.machines, m)
 			}
 		}
+	}
+	if p.opts.FastPath.Enabled {
+		p.fastTracks = make(map[uint32]*simTrack)
 	}
 	if p.opts.WeightedRouting {
 		cfg := p.opts.RouteStats
@@ -598,12 +659,66 @@ func (in *Instance) kick() {
 func (in *Instance) start(fr *simFrame, queueWait time.Duration) {
 	p := in.p
 	began := p.eng.Now()
+	// The tracker-gated fast path answers warm clients' frames at the
+	// head of the pipeline for only the gate cost.
+	if in.step == wire.StepPrimary && p.fastSkip(fr) {
+		in.runGate(fr, queueWait, began)
+		return
+	}
 	// scAtteR's matching first fetches the frame's state from sift.
 	if in.step == wire.StepMatching && p.opts.Mode == ModeScatter {
 		in.fetchThenProcess(fr, queueWait, began)
 		return
 	}
 	in.runPhases(fr, queueWait, began)
+}
+
+// fastSkip decides whether fr can be answered from the client's warm
+// track, mirroring FastPathGate.VerdictAppend: the track must be warm
+// (WarmHits consecutive full recognitions), fresh (within TrackTTL), and
+// not due for its RefreshEvery-th drift-bounding refresh.
+func (p *Pipeline) fastSkip(fr *simFrame) bool {
+	if p.fastTracks == nil {
+		return false
+	}
+	t := p.fastTracks[fr.clientID]
+	if t == nil {
+		return false
+	}
+	fp := p.opts.FastPath
+	if t.fulls > 0 && p.eng.Now()-t.lastFull > fp.TrackTTL {
+		// Track loss: no result reached this client recently enough.
+		t.fulls, t.skips = 0, 0
+		return false
+	}
+	if t.fulls < fp.WarmHits || t.skips+1 >= fp.RefreshEvery {
+		return false
+	}
+	t.skips++
+	return true
+}
+
+// runGate is the fast-path service phase at primary: the frame pays only
+// the gate lookup + verdict copy (plus the sidecar RPC in scAtteR++) and
+// is delivered directly, never touching sift→matching.
+func (in *Instance) runGate(fr *simFrame, queueWait time.Duration, began sim.Time) {
+	p := in.p
+	fr.fast = true
+	cpu := in.machine.ComputeTime(p.opts.FastPath.GateCost, false)
+	if p.opts.Mode == ModeScatterPP {
+		cpu += p.opts.SidecarOverhead
+	}
+	in.machine.CPU.Acquire(func() {
+		p.eng.After(cpu, func() {
+			in.machine.CPU.Release()
+			in.cpuBusy += cpu
+			p.col.ServiceProcessed(in.Name(), queueWait, p.eng.Now()-began)
+			p.col.FastPathSkipped()
+			in.recordSpan(fr, began-queueWait, began, p.eng.Now(), obs.OutcomeOK)
+			in.deliver(fr)
+			in.idle()
+		})
+	})
 }
 
 func (in *Instance) runPhases(fr *simFrame, queueWait time.Duration, began sim.Time) {
@@ -752,9 +867,25 @@ func (in *Instance) idle() {
 	}
 }
 
-// deliver sends the processed frame back to its client.
+// deliver sends the processed frame back to its client. A full
+// recognition completing here is the sim's equivalent of matching
+// publishing into the gate: it bumps the client's warm state. Fast-path
+// results never do.
 func (in *Instance) deliver(fr *simFrame) {
 	p := in.p
+	if p.fastTracks != nil && !fr.fast {
+		t := p.fastTracks[fr.clientID]
+		if t == nil {
+			t = &simTrack{}
+			p.fastTracks[fr.clientID] = t
+		}
+		if t.fulls > 0 && p.eng.Now()-t.lastFull > p.opts.FastPath.TrackTTL {
+			t.fulls = 0
+		}
+		t.fulls++
+		t.skips = 0
+		t.lastFull = p.eng.Now()
+	}
 	link := p.fabric.Link(in.machine.Name(), clientName(fr.clientID))
 	capture := fr.capture
 	clientID := fr.clientID

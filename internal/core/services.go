@@ -62,6 +62,8 @@ func advance(fr *wire.Frame, p *Payload) {
 type Primary struct {
 	// TargetW/TargetH is the analysis resolution (defaults 320×180).
 	TargetW, TargetH int
+
+	gate *FastPathGate
 }
 
 // NewPrimary returns the pre-processing service.
@@ -78,8 +80,26 @@ func NewPrimary(targetW, targetH int) *Primary {
 // Step implements Processor.
 func (s *Primary) Step() wire.Step { return wire.StepPrimary }
 
+// SetFastPath installs the tracker-gated recognition fast path: before
+// paying for image decode, Process consults the gate and — when the
+// client's tracker is confident — rewrites the frame as the terminal
+// fast-path detection payload at StepDone, skipping sift→fisher→lsh→match
+// entirely. A nil or disabled gate leaves Process bit-identical to a
+// build without the gate.
+func (s *Primary) SetFastPath(g *FastPathGate) { s.gate = g }
+
 // Process implements Processor.
 func (s *Primary) Process(fr *wire.Frame) error {
+	if fr.Step == wire.StepPrimary && s.gate.Enabled() {
+		// The gate copies the pre-encoded verdict into the frame's own
+		// buffer under its lock (append into Payload[:0], reusing pooled
+		// capacity), so the frame never aliases gate-owned bytes.
+		if out, ok := s.gate.VerdictAppend(fr.ClientID, fr.FrameNo, fr.Payload[:0]); ok {
+			fr.Payload = out
+			fr.Step = wire.StepDone
+			return nil
+		}
+	}
 	p, err := decodeFor(fr, wire.StepPrimary)
 	if err != nil {
 		return err
@@ -395,6 +415,12 @@ type LSHService struct {
 	index *lsh.Index
 	// K is how many candidates to forward (default 3).
 	K int
+	// Cache, when non-nil, short-circuits index queries through the
+	// cross-client recognition cache: the Fisher vector's LSH sketch is
+	// computed (a fraction of a full multi-probe query + exact ranking),
+	// and a fresh-enough entry from any client viewing the same scene is
+	// reused. Nil leaves Process bit-identical to a build without it.
+	Cache *RecognitionCache
 }
 
 // NewLSHService wraps a populated index.
@@ -420,6 +446,16 @@ func (s *LSHService) Process(fr *wire.Frame) error {
 	if p.Fisher == nil {
 		return fmt.Errorf("%w: fisher vector at lsh", ErrMissingSection)
 	}
+	var sketch string
+	if s.Cache != nil {
+		sketch = s.Cache.Sketch(p.Fisher)
+		if cached, ok := s.Cache.Lookup(sketch); ok {
+			p.Candidates = cached
+			p.Fisher = nil
+			advance(fr, p)
+			return nil
+		}
+	}
 	neighbors := s.index.Query(p.Fisher, s.K)
 	if len(neighbors) < s.K && s.index.Len() >= s.K {
 		// Small reference sets can miss probe buckets; top up with the
@@ -429,6 +465,9 @@ func (s *LSHService) Process(fr *wire.Frame) error {
 	p.Candidates = make([]Candidate, len(neighbors))
 	for i, n := range neighbors {
 		p.Candidates[i] = Candidate{ObjectID: int32(n.ID), Dist: float32(n.Dist)}
+	}
+	if s.Cache != nil {
+		s.Cache.Store(sketch, p.Candidates)
 	}
 	p.Fisher = nil
 	advance(fr, p)
@@ -442,6 +481,7 @@ func (s *LSHService) Process(fr *wire.Frame) error {
 func (s *LSHService) ProcessBatch(frs []*wire.Frame) []error {
 	errs := make([]error, len(frs))
 	payloads := make([]*Payload, len(frs))
+	sketches := make([]string, len(frs))
 	vecs := make([][]float32, 0, len(frs))
 	live := make([]int, 0, len(frs))
 	for i, fr := range frs {
@@ -453,6 +493,15 @@ func (s *LSHService) ProcessBatch(frs []*wire.Frame) []error {
 		if p.Fisher == nil {
 			errs[i] = fmt.Errorf("%w: fisher vector at lsh", ErrMissingSection)
 			continue
+		}
+		if s.Cache != nil {
+			sketches[i] = s.Cache.Sketch(p.Fisher)
+			if cached, ok := s.Cache.Lookup(sketches[i]); ok {
+				p.Candidates = cached
+				p.Fisher = nil
+				advance(fr, p)
+				continue
+			}
 		}
 		payloads[i] = p
 		vecs = append(vecs, p.Fisher)
@@ -468,6 +517,9 @@ func (s *LSHService) ProcessBatch(frs []*wire.Frame) []error {
 		p.Candidates = make([]Candidate, len(neighbors))
 		for j, n := range neighbors {
 			p.Candidates[j] = Candidate{ObjectID: int32(n.ID), Dist: float32(n.Dist)}
+		}
+		if s.Cache != nil {
+			s.Cache.Store(sketches[i], p.Candidates)
 		}
 		p.Fisher = nil
 		advance(frs[i], p)
@@ -497,20 +549,34 @@ type Matching struct {
 	ratio   float64
 	ransac  match.RANSACConfig
 	minHits int
+	gate    *FastPathGate
 
-	mu       sync.Mutex
-	trackers map[uint32]*match.Tracker
+	mu          sync.Mutex
+	trackers    map[uint32]*clientTracker
+	idleTimeout time.Duration
+	nextSweep   time.Time
+	now         func() time.Time
+}
+
+// clientTracker pairs a per-client tracker with its last activity time,
+// so trackers for churned clients can be evicted.
+type clientTracker struct {
+	tr       *match.Tracker
+	lastSeen time.Time
 }
 
 // NewMatching returns the matching service. fetch may be nil when the
 // pipeline runs stateless (features arrive in the payload).
 func NewMatching(refs []*ReferenceObject, fetch StateFetcher) *Matching {
 	m := &Matching{
-		refs:     make(map[int32]*ReferenceObject, len(refs)),
-		fetch:    fetch,
-		ratio:    0.85,
-		ransac:   match.RANSACConfig{Iterations: 400, Threshold: 5, MinInliers: 5, Seed: 1},
-		trackers: make(map[uint32]*match.Tracker),
+		refs:        make(map[int32]*ReferenceObject, len(refs)),
+		fetch:       fetch,
+		ratio:       0.85,
+		ransac:      match.RANSACConfig{Iterations: 400, Threshold: 5, MinInliers: 5, Seed: 1},
+		minHits:     1,
+		trackers:    make(map[uint32]*clientTracker),
+		idleTimeout: time.Minute,
+		now:         time.Now,
 	}
 	for _, r := range refs {
 		m.refs[r.ID] = r
@@ -520,6 +586,54 @@ func NewMatching(refs []*ReferenceObject, fetch StateFetcher) *Matching {
 
 // Step implements Processor.
 func (s *Matching) Step() wire.Step { return wire.StepMatching }
+
+// SetMinHits requires a track to accumulate n supporting detections
+// before its detection is emitted to the client, suppressing single-frame
+// flicker from spurious matches. The default 1 emits on the first hit
+// (the historical behaviour).
+func (s *Matching) SetMinHits(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.minHits = n
+}
+
+// SetTrackerIdleTimeout sets how long a client's tracker survives without
+// frames before being evicted (default 1 minute). Non-positive values
+// keep the default.
+func (s *Matching) SetTrackerIdleTimeout(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.idleTimeout = d
+	s.nextSweep = time.Time{}
+	s.mu.Unlock()
+}
+
+// SetFastPath installs the gate that Matching publishes its per-client
+// verdict into after every full recognition pass.
+func (s *Matching) SetFastPath(g *FastPathGate) { s.gate = g }
+
+// EndSession drops the tracker and fast-path verdict for a client whose
+// session ended, so its next stream starts from a clean tracking state
+// instead of stale tracks (and so churning clients don't leak trackers).
+func (s *Matching) EndSession(clientID uint32) {
+	s.mu.Lock()
+	if ct, ok := s.trackers[clientID]; ok {
+		ct.tr.Reset()
+		delete(s.trackers, clientID)
+	}
+	s.mu.Unlock()
+	s.gate.EndSession(clientID)
+}
+
+// TrackerCount returns the number of live per-client trackers.
+func (s *Matching) TrackerCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.trackers)
+}
 
 // Process implements Processor.
 func (s *Matching) Process(fr *wire.Frame) error {
@@ -630,27 +744,57 @@ func (s *Matching) ProcessBatch(frs []*wire.Frame) []error {
 }
 
 // track folds detections into the per-client tracker and rewrites the
-// frame as the terminal detection payload.
+// frame as the terminal detection payload. It also evicts trackers for
+// idle clients (throttled to every idleTimeout/4) and publishes the
+// client's verdict into the fast-path gate.
 func (s *Matching) track(fr *wire.Frame, detections []match.Detection) {
 	s.mu.Lock()
-	tr, ok := s.trackers[fr.ClientID]
+	now := s.now()
+	s.sweepTrackersLocked(now)
+	ct, ok := s.trackers[fr.ClientID]
 	if !ok {
-		tr = match.NewTracker(match.TrackerConfig{})
-		s.trackers[fr.ClientID] = tr
+		ct = &clientTracker{tr: match.NewTracker(match.TrackerConfig{})}
+		s.trackers[fr.ClientID] = ct
 	}
-	tracks := tr.Update(fr.FrameNo, detections)
+	ct.lastSeen = now
+	tracks := ct.tr.Update(fr.FrameNo, detections)
 	s.mu.Unlock()
 
+	// The published verdict confidence is the mean over emitted tracks: a
+	// single intermittently-visible object should not starve the fast path
+	// for a client whose stable tracks are well-confirmed (its smoothed
+	// box coasts in the verdict either way).
+	var conf float64
 	out := make([]Detection, 0, len(tracks))
 	for _, t := range tracks {
+		if t.Hits < s.minHits {
+			continue
+		}
+		conf += t.Confidence
 		out = append(out, Detection{
 			ObjectID: int32(t.ObjectID),
 			MinX:     float32(t.Box.MinX), MinY: float32(t.Box.MinY),
 			MaxX: float32(t.Box.MaxX), MaxY: float32(t.Box.MaxY),
 		})
 	}
+	if len(out) > 0 {
+		conf /= float64(len(out))
+	}
+	s.gate.Publish(fr.ClientID, fr.FrameNo, conf, out)
 	fr.Payload = (&Payload{Detections: out}).Encode()
 	fr.Step = wire.StepDone
+}
+
+func (s *Matching) sweepTrackersLocked(now time.Time) {
+	if now.Before(s.nextSweep) {
+		return
+	}
+	s.nextSweep = now.Add(s.idleTimeout / 4)
+	for id, ct := range s.trackers {
+		if now.Sub(ct.lastSeen) > s.idleTimeout {
+			delete(s.trackers, id)
+		}
+	}
 }
 
 func (s *Matching) matchObject(query []sift.Feature, ref *ReferenceObject) (match.Detection, bool) {

@@ -120,6 +120,9 @@ func writeTextMetrics(w http.ResponseWriter, reg *Registry) {
 		}
 	}
 	writeTextRoutes(w, reg.RouteDigests())
+	if d, ok := reg.FastPathDigest(); ok {
+		writeTextFastPath(w, d)
+	}
 }
 
 func writeTextHistogram(w http.ResponseWriter, metric, service string, h *Histogram) {
@@ -147,6 +150,7 @@ type jsonSnapshot struct {
 	FramesDelivered uint64                   `json:"frames_delivered"`
 	Services        []jsonServiceSnap        `json:"services"`
 	Routes          []routestats.RouteDigest `json:"routes,omitempty"`
+	FastPath        *FastPathDigest          `json:"fastpath,omitempty"`
 }
 
 type jsonServiceSnap struct {
@@ -172,5 +176,8 @@ func jsonMetrics(reg *Registry) jsonSnapshot {
 		})
 	}
 	snap.Routes = reg.RouteDigests()
+	if d, ok := reg.FastPathDigest(); ok {
+		snap.FastPath = &d
+	}
 	return snap
 }

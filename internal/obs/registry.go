@@ -205,6 +205,9 @@ type Registry struct {
 	// routeSrc holds the installed routeSource (SetRouteSource); nil-fn
 	// until a stats-driven router starts publishing.
 	routeSrc atomic.Value
+	// fastPathSrc holds the installed fastPathSource
+	// (SetFastPathSource); nil-fn until a fast-path gate is wired in.
+	fastPathSrc atomic.Value
 }
 
 // NewRegistry returns an empty registry anchored at now.

@@ -108,6 +108,9 @@ func tableSeed(seed int64, table int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
+// Tables returns the number of hash tables (after defaulting).
+func (ix *Index) Tables() int { return ix.cfg.Tables }
+
 // Len returns the number of stored items.
 func (ix *Index) Len() int {
 	ix.mu.RLock()

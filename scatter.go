@@ -44,6 +44,7 @@ import (
 	"github.com/edge-mar/scatter/internal/testbed"
 	"github.com/edge-mar/scatter/internal/trace"
 	"github.com/edge-mar/scatter/internal/transport"
+	"github.com/edge-mar/scatter/internal/vision/lsh"
 	"github.com/edge-mar/scatter/internal/wire"
 )
 
@@ -94,6 +95,25 @@ type (
 	Payload = core.Payload
 	// Detection is a recognized/tracked object with bounding box.
 	Detection = core.Detection
+	// FastPathConfig tunes the tracker-gated recognition fast path
+	// (confidence floor, forced-refresh cadence, idle eviction).
+	FastPathConfig = core.FastPathConfig
+	// FastPathGate is the per-node verdict store the matching service
+	// publishes into and the primary service answers confident frames
+	// from, skipping sift→encoding→lsh→matching.
+	FastPathGate = core.FastPathGate
+	// RecognitionCacheConfig tunes the cross-client recognition cache
+	// (TTL, capacity).
+	RecognitionCacheConfig = core.RecognitionCacheConfig
+	// RecognitionCache shares LSH candidate lists across clients keyed by
+	// the query's LSH sketch.
+	RecognitionCache = core.RecognitionCache
+	// LSHIndex is the multi-table LSH index a trained Model carries
+	// (Model.Index) — the sketch source for the recognition cache.
+	LSHIndex = lsh.Index
+	// FastPathDigest is the live fast-path snapshot exposed as
+	// scatter_fastpath_* series by the obs registry.
+	FastPathDigest = obs.FastPathDigest
 	// ReferenceImage is a canonical training view of one object.
 	ReferenceImage = trace.ReferenceImage
 	// VideoSource generates the synthetic workplace clip.
@@ -116,6 +136,17 @@ func NewProcessors(m *Model, stateless bool, analysisW, analysisH int) [wire.Num
 // detection stage (train the model with TrainConfig.FastExtractor).
 func NewFastProcessors(m *Model, stateless bool, analysisW, analysisH int) [wire.NumSteps]Processor {
 	return core.NewFastProcessors(m, stateless, analysisW, analysisH)
+}
+
+// NewFastPathGate builds a tracker-gated fast-path verdict store; wire it
+// into the primary and matching processors with their SetFastPath methods
+// and expose it via ObsRegistry.SetFastPathSource.
+func NewFastPathGate(cfg FastPathConfig) *FastPathGate { return core.NewFastPathGate(cfg) }
+
+// NewRecognitionCache builds a cross-client recognition cache over a
+// trained model's LSH index; install it as an LSHService's Cache.
+func NewRecognitionCache(cfg RecognitionCacheConfig, index *LSHIndex) *RecognitionCache {
+	return core.NewRecognitionCache(cfg, index)
 }
 
 // NewVideoSource creates the deterministic synthetic clip generator.
