@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-vision bench-dataplane bench-batching bench-routing bench-fastpath fuzz figures examples chaos clean
+.PHONY: all build vet test race cover bench bench-vision bench-dataplane bench-batching bench-routing bench-fastpath bench-autoscale fuzz figures examples chaos clean
 
 all: build test
 
@@ -19,7 +19,7 @@ vet:
 # compiling and running without paying full measurement time.
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/core ./internal/obs/... ./internal/agent ./internal/transport ./internal/netem ./internal/vision/...
+	$(GO) test -race ./internal/core ./internal/obs/... ./internal/agent ./internal/transport ./internal/netem ./internal/vision/... ./internal/appaware ./internal/orchestrator
 	$(GO) test -run '^$$' -bench 'WorkerHop|DataplaneEncode' -benchtime=1x ./internal/agent
 
 race:
@@ -70,6 +70,17 @@ bench-routing:
 bench-fastpath:
 	$(GO) test -run '^$$' -bench 'FastPathFrame' -benchmem ./internal/core \
 		| $(GO) run ./cmd/benchjson -o BENCH_fastpath.json -note "make bench-fastpath"
+
+# Closed-loop autoscaling headline: the simulated 4-client saturation
+# ramp under static vs hardware vs qos policies, exported to
+# BENCH_autoscale.json. Per policy: time-to-react (react_s; the full run
+# length when the policy never acts), delivered FPS per client (fps; the
+# paper targets 30), and replicas added (actions). One deterministic
+# iteration per policy — the sim is virtual-time, so -benchtime=1x is
+# both fast and reproducible.
+bench-autoscale:
+	$(GO) test -run '^$$' -bench 'AutoscalePolicy' -benchtime=1x ./internal/appaware \
+		| $(GO) run ./cmd/benchjson -o BENCH_autoscale.json -note "make bench-autoscale"
 
 # Smoke-runs every vision kernel benchmark once at 1, 4, and 8 cores.
 # Worker pools size themselves from GOMAXPROCS, so each -cpu row measures

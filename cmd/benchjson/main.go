@@ -18,14 +18,16 @@ import (
 	"strings"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. Metrics carries any custom
+// b.ReportMetric units (e.g. fps, react_s) beyond the standard four.
 type Result struct {
-	Name        string  `json:"name"`
-	Iters       int64   `json:"iters"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
-	BytesPerOp  int64   `json:"b_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerSec    float64            `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64              `json:"b_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Snapshot is the JSON document emitted.
@@ -99,6 +101,13 @@ func parseLine(line string) (Result, bool) {
 			r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 		case "allocs/op":
 			r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		default:
+			if f, err := strconv.ParseFloat(val, 64); err == nil {
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = f
+			}
 		}
 	}
 	return r, seen

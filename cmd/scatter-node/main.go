@@ -209,24 +209,50 @@ type nodeConfig struct {
 	RecognitionCache *recognitionCacheSpec `json:"recognition_cache,omitempty"`
 }
 
-// telemetryDigest converts the node's live registry digest into the
-// heartbeat's wire shape. The conversion lives here so the orchestrator
-// package stays decoupled from the obs implementation.
-func telemetryDigest(reg *obs.Registry) []orchestrator.ServiceTelemetry {
-	digest := reg.Digest()
-	out := make([]orchestrator.ServiceTelemetry, 0, len(digest))
-	for _, d := range digest {
-		out = append(out, orchestrator.ServiceTelemetry{
-			Service:   d.Service,
-			Arrived:   d.Arrived,
-			Processed: d.Processed,
-			Dropped:   d.Dropped,
-			DropRatio: d.DropRatio,
-			QueueLen:  d.QueueLen,
-			P95Micros: d.P95Micros,
-		})
+// admissionEnforcer applies the control plane's per-service verdicts to
+// this node's live workers and snapshots the enforcement for the obs
+// endpoints. It mirrors agent.Deployer semantics: listed services take
+// the verdict, every unlisted service resets to admit — a controller
+// restart can never wedge a service shut.
+type admissionEnforcer struct {
+	byService map[string][]*agent.Worker
+}
+
+func newAdmissionEnforcer(services []serviceSpec, workers []*agent.Worker) *admissionEnforcer {
+	e := &admissionEnforcer{byService: make(map[string][]*agent.Worker)}
+	for i, svc := range services {
+		name := strings.ToLower(svc.Step)
+		e.byService[name] = append(e.byService[name], workers[i])
 	}
-	return out
+	return e
+}
+
+func (e *admissionEnforcer) apply(adm []orchestrator.ServiceAdmission) {
+	verdicts := make(map[string]core.AdmitState, len(adm))
+	for _, a := range adm {
+		verdicts[a.Service] = core.ParseAdmitState(a.State)
+	}
+	for name, ws := range e.byService {
+		state := verdicts[name] // absent → AdmitOK
+		for _, w := range ws {
+			w.SetAdmitState(state)
+		}
+	}
+}
+
+func (e *admissionEnforcer) digest() obs.AdmissionDigest {
+	var d obs.AdmissionDigest
+	for name, ws := range e.byService {
+		s := obs.AdmissionServiceDigest{Service: name, State: core.AdmitOK.String()}
+		for _, w := range ws {
+			if st := w.AdmitState(); st > core.ParseAdmitState(s.State) {
+				s.State = st.String()
+			}
+			s.Drops += w.Stats().DroppedAdmission
+		}
+		d.Services = append(d.Services, s)
+	}
+	return d
 }
 
 func main() {
@@ -441,6 +467,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Admission enforcement point: verdicts arriving on heartbeat
+	// responses land on the live workers, and the enforcement state is
+	// exported as scatter_admission_* on the obs endpoints.
+	enforcer := newAdmissionEnforcer(cfg.Services, workers)
+	reg.SetAdmissionSource(enforcer.digest)
+
 	if cfg.ObsListen != "" {
 		srv, addr, err := obs.Serve(cfg.ObsListen, reg, nil)
 		if err != nil {
@@ -455,7 +487,9 @@ func main() {
 	// telemetry. Hardware metrics alone are the orchestrator view the
 	// paper critiques as insufficient for AR QoS; the heartbeat also
 	// carries this node's live application digest (the §6 extension) so
-	// app-aware policies at the root can read drop ratios directly.
+	// app-aware policies at the root can read drop ratios directly, and
+	// the response downlink carries the root's admission verdicts back to
+	// this node's sidecars.
 	if cfg.Orchestrator != "" {
 		if cfg.Node == nil {
 			hostname, _ := os.Hostname()
@@ -467,6 +501,7 @@ func main() {
 			}
 		}
 		ctl := orchestrator.NewClient(cfg.Orchestrator, 5*time.Second)
+		ctl.SetAdmissionHandler(enforcer.apply)
 		ctx, cancelHB := context.WithCancel(context.Background())
 		defer cancelHB()
 		err := ctl.StartHeartbeats(ctx, *cfg.Node, 2*time.Second, func() orchestrator.NodeStatus {
@@ -475,7 +510,7 @@ func main() {
 			return orchestrator.NodeStatus{
 				MemUsed:       int64(ms.Alloc),
 				LastHeartbeat: time.Now(),
-				Services:      telemetryDigest(reg),
+				Services:      orchestrator.TelemetryFromDigests(reg.Digest()),
 				Routes:        orchestrator.RouteTelemetry(reg.RouteDigests()),
 			}
 		}, func(err error) {

@@ -98,6 +98,11 @@ type WorkerStats struct {
 	DroppedQueue     uint64 // sidecar queue overflow
 	DroppedThreshold uint64 // sidecar latency-threshold drops
 	DroppedShutdown  uint64 // abandoned in the sidecar queue at Close
+	// DroppedAdmission counts ingress frames refused by admission control
+	// (reject, or the decimated share under degrade) — a deliberate
+	// control action, kept out of the distress drop counters so the
+	// controller's recovery signal stays clean.
+	DroppedAdmission uint64
 	Errors           uint64
 	ForwardRetries   uint64 // next-hop send retries under the budget
 	QueueMicros      uint64 // total queueing time of processed frames
@@ -224,9 +229,15 @@ type Worker struct {
 	droppedBusy, droppedQueue       atomic.Uint64
 	droppedThreshold, errorsCount   atomic.Uint64
 	droppedShutdown, forwardRetries atomic.Uint64
+	droppedAdmission                atomic.Uint64
 	queueMicros, procMicros         atomic.Uint64
 	batches, batchedFrames          atomic.Uint64
 	fastSkips                       atomic.Uint64
+
+	// admit is the admission verdict in force at this worker's ingress
+	// (core.AdmitState; pushed by the control plane via SetAdmitState).
+	// A plain atomic load on the hot path — no allocation, no lock.
+	admit atomic.Int32
 
 	// Steady-state pools (DESIGN.md "Buffer ownership & pooling"): every
 	// inbound frame decodes into a recycled envelope and every outbound
@@ -449,6 +460,13 @@ func (w *Worker) dropSpan(fr *wire.Frame, outcome obs.Outcome, enq, start, end t
 	})
 }
 
+// SetAdmitState installs the admission verdict enforced at this worker's
+// ingress. Safe for concurrent use with the data plane.
+func (w *Worker) SetAdmitState(s core.AdmitState) { w.admit.Store(int32(s)) }
+
+// AdmitState returns the verdict currently enforced at ingress.
+func (w *Worker) AdmitState() core.AdmitState { return core.AdmitState(w.admit.Load()) }
+
 // Stats returns a snapshot of the worker's counters.
 func (w *Worker) Stats() WorkerStats {
 	return WorkerStats{
@@ -458,6 +476,7 @@ func (w *Worker) Stats() WorkerStats {
 		DroppedQueue:     w.droppedQueue.Load(),
 		DroppedThreshold: w.droppedThreshold.Load(),
 		DroppedShutdown:  w.droppedShutdown.Load(),
+		DroppedAdmission: w.droppedAdmission.Load(),
 		Errors:           w.errorsCount.Load(),
 		ForwardRetries:   w.forwardRetries.Load(),
 		QueueMicros:      w.queueMicros.Load(),
@@ -516,6 +535,23 @@ func (w *Worker) onMessage(data []byte, from net.Addr) {
 	now := time.Now()
 	if w.live != nil {
 		w.live.Arrived.Inc()
+	}
+	// Admission enforcement at the door, before the queue: a rejected
+	// service turns every frame away; a degraded one admits one frame in
+	// core.DegradeStride (by frame number, so each client keeps a steady
+	// reduced cadence). Refused frames are never acked — the upstream
+	// route window books a loss, which is the backpressure that steers
+	// stats-driven routing away.
+	if st := core.AdmitState(w.admit.Load()); st != core.AdmitOK {
+		if st == core.AdmitReject || fr.FrameNo%core.DegradeStride != 0 {
+			w.droppedAdmission.Add(1)
+			if w.live != nil {
+				w.live.AdmissionDrops.Inc()
+			}
+			w.dropSpan(fr, obs.OutcomeAdmission, now, now, now)
+			w.frames.Put(fr)
+			return
+		}
 	}
 	// Ack identity, captured before envelope ownership moves to the
 	// processing goroutine or the sidecar queue. Acks are sent only on

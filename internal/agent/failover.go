@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/edge-mar/scatter/internal/core"
+	"github.com/edge-mar/scatter/internal/obs"
 	"github.com/edge-mar/scatter/internal/orchestrator"
 	"github.com/edge-mar/scatter/internal/wire"
 )
@@ -48,7 +49,10 @@ type Deployer struct {
 	workers map[string]*Worker // instance key -> running worker
 	steps   map[string]wire.Step
 	nodes   map[string]string // instance key -> node name
-	closed  bool
+	// admits holds the admission verdict per step so workers started
+	// later (scale-out, migration) inherit the verdict in force.
+	admits map[wire.Step]core.AdmitState
+	closed bool
 }
 
 // NewDeployer validates the configuration and returns a Deployer.
@@ -70,6 +74,7 @@ func NewDeployer(cfg DeployerConfig) (*Deployer, error) {
 		workers: make(map[string]*Worker),
 		steps:   make(map[string]wire.Step),
 		nodes:   make(map[string]string),
+		admits:  make(map[wire.Step]core.AdmitState),
 	}, nil
 }
 
@@ -118,6 +123,9 @@ func (d *Deployer) onSchedule(inst orchestrator.Instance) {
 		delete(d.nodes, inst.Key())
 		d.syncRoutesLocked()
 		return
+	}
+	if st := d.admits[step]; st != core.AdmitOK {
+		w.SetAdmitState(st)
 	}
 	d.workers[inst.Key()] = w
 	d.steps[inst.Key()] = step
@@ -220,11 +228,74 @@ func (d *Deployer) Stats() map[string]WorkerStats {
 		agg.DroppedQueue += st.DroppedQueue
 		agg.DroppedThreshold += st.DroppedThreshold
 		agg.DroppedShutdown += st.DroppedShutdown
+		agg.DroppedAdmission += st.DroppedAdmission
 		agg.Errors += st.Errors
 		agg.ForwardRetries += st.ForwardRetries
 		agg.QueueMicros += st.QueueMicros
 		agg.ProcMicros += st.ProcMicros
 		out[d.steps[k].String()] = agg
+	}
+	return out
+}
+
+// SetAdmitState pushes an admission verdict to every live worker of the
+// step and remembers it so later-started replicas inherit it.
+func (d *Deployer) SetAdmitState(step wire.Step, st core.AdmitState) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if st == core.AdmitOK {
+		delete(d.admits, step)
+	} else {
+		d.admits[step] = st
+	}
+	for k, w := range d.workers {
+		if d.steps[k] == step {
+			w.SetAdmitState(st)
+		}
+	}
+}
+
+// ApplyAdmissions enforces a heartbeat response's verdict set: listed
+// services get their verdict, every other step resets to admit. Wire it
+// as the orchestrator client's admission handler
+// (Client.SetAdmissionHandler).
+func (d *Deployer) ApplyAdmissions(adm []orchestrator.ServiceAdmission) {
+	want := make(map[wire.Step]core.AdmitState, len(adm))
+	for _, a := range adm {
+		step, err := wire.ParseStep(a.Service)
+		if err != nil {
+			continue
+		}
+		want[step] = core.ParseAdmitState(a.State)
+	}
+	for step := 0; step < wire.NumSteps; step++ {
+		d.SetAdmitState(wire.Step(step), want[wire.Step(step)])
+	}
+}
+
+// AdmissionDigest snapshots per-service admission state and drops for
+// the obs exposition (Registry.SetAdmissionSource).
+func (d *Deployer) AdmissionDigest() obs.AdmissionDigest {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	drops := make(map[wire.Step]uint64)
+	seen := make(map[wire.Step]bool)
+	for k, w := range d.workers {
+		step := d.steps[k]
+		drops[step] += w.Stats().DroppedAdmission
+		seen[step] = true
+	}
+	var out obs.AdmissionDigest
+	for step := 0; step < wire.NumSteps; step++ {
+		st := wire.Step(step)
+		if !seen[st] && d.admits[st] == core.AdmitOK && drops[st] == 0 {
+			continue
+		}
+		out.Services = append(out.Services, obs.AdmissionServiceDigest{
+			Service: st.String(),
+			State:   d.admits[st].String(),
+			Drops:   drops[st],
+		})
 	}
 	return out
 }

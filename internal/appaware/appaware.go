@@ -1,7 +1,7 @@
-// Package appaware implements the paper's §6 future-work proposal: an
-// application-aware orchestrator that consumes internal application
+// Package appaware implements the paper's §6 proposal: an
+// application-aware control plane that consumes internal application
 // metrics (exported through predefined sidecar hooks) alongside hardware
-// telemetry, and scales services out when the application — not the
+// telemetry, and scales services when the application — not the
 // hardware — shows distress.
 //
 // Two policies make the paper's insight (I)/(IV) measurable:
@@ -10,12 +10,27 @@
 //     it only sees CPU/GPU utilization and scales the busiest service on
 //     an overloaded machine. During scAtteR's collapse, utilization stays
 //     low or even declines, so this policy never reacts.
-//   - QoSPolicy consumes the sidecar analytics (ingress drop ratios) and
-//     scales the first distressed service in pipeline order.
+//   - QoSPolicy consumes the sidecar analytics (windowed ingress drop
+//     ratios and tail latency) and scales the first distressed service in
+//     pipeline order, optionally scaling idle over-provisioned services
+//     back in.
 //
-// The Autoscaler evaluates a policy on a fixed control period over a
-// simulated deployment and applies its decisions via dynamic replica
-// addition (core.Pipeline.AddReplica).
+// The decision layer here is shared by two drivers: the sim Autoscaler
+// below evaluates a policy against a simulated deployment
+// (core.Pipeline.AddReplica/RemoveReplica), and the orchestrator's live
+// controller evaluates the same policies against merged heartbeat
+// digests, acting through the scheduler and agent.Deployer. When
+// scale-out is capped or unschedulable, both escalate to admission
+// control (AdmissionPolicy): per-service admit/degrade/reject verdicts
+// enforced at the sidecar ingress before queues saturate.
+//
+// Every signal a policy sees is windowed over one control period.
+// Service counters are cumulative at the source, so the drivers compute
+// saturating per-period deltas (robust to collector resets); machine
+// utilization is likewise windowed from the devices' busy integrals —
+// cumulative utilization would let a long-idle machine never cross a
+// threshold during a late overload and keep a long-busy one tripped
+// forever after it cooled down.
 package appaware
 
 import (
@@ -29,27 +44,68 @@ import (
 	"github.com/edge-mar/scatter/internal/wire"
 )
 
+// AdmitState re-exports the shared admission verdict so policy consumers
+// need not import core directly.
+type AdmitState = core.AdmitState
+
+// Admission verdicts, re-exported.
+const (
+	AdmitOK      = core.AdmitOK
+	AdmitDegrade = core.AdmitDegrade
+	AdmitReject  = core.AdmitReject
+)
+
 // ServiceSignal is one service's application-level telemetry over the
 // last control period — what the extended sidecar exposes to the
 // orchestrator.
 type ServiceSignal struct {
 	Step      wire.Step
 	Arrived   uint64 // ingress requests in the window
-	Dropped   uint64 // ingress drops in the window
+	Dropped   uint64 // distress drops in the window (busy/overflow/threshold)
 	DropRatio float64
+	// AdmissionDropped counts frames this window refused by admission
+	// control — excluded from Dropped/DropRatio so the distress signal
+	// recovers while rejection holds.
+	AdmissionDropped uint64
+	// P95Micros/P99Micros are the service-latency tail from the live
+	// digest histograms (zero when the driver has no latency source —
+	// the sim collector tracks means only).
+	P95Micros uint64
+	P99Micros uint64
+	QueueLen  int64
 	Replicas  int
 }
 
-// Signal is the telemetry snapshot a policy decides on.
+// Signal is the telemetry snapshot a policy decides on. All fields are
+// windowed over the last control period.
 type Signal struct {
 	Now      sim.Time
 	Services [wire.NumSteps]ServiceSignal
-	Machines []metrics.MachineUsage // cumulative hardware telemetry
+	Machines []metrics.MachineUsage // windowed hardware telemetry (per-period utilization)
 }
 
-// Decision asks for one more replica of a step.
+// Verb says which direction a decision scales.
+type Verb int
+
+// Decision verbs. The zero value is scale-up, so pre-existing
+// construction sites keep their meaning.
+const (
+	VerbScaleUp Verb = iota
+	VerbScaleDown
+)
+
+// String names the verb for events and exposition.
+func (v Verb) String() string {
+	if v == VerbScaleDown {
+		return "scale-down"
+	}
+	return "scale-up"
+}
+
+// Decision asks for one replica more (or fewer) of a step.
 type Decision struct {
 	Step   wire.Step
+	Verb   Verb
 	Reason string
 }
 
@@ -62,7 +118,8 @@ type Policy interface {
 
 // HardwarePolicy scales on hardware utilization only — the information
 // today's orchestration frameworks act on. When any machine exceeds the
-// thresholds, it scales the service with the highest ingress load.
+// thresholds over the last control period, it scales the service with
+// the highest ingress load.
 type HardwarePolicy struct {
 	// CPUThreshold and GPUThreshold are utilization fractions in (0, 1].
 	// Zero values default to 0.8.
@@ -111,14 +168,28 @@ func (p HardwarePolicy) Decide(sig Signal) []Decision {
 	}}
 }
 
-// QoSPolicy scales on application QoS: any service whose windowed ingress
-// drop ratio exceeds the threshold gets a replica (earliest pipeline
-// stage first, since upstream relief propagates downstream).
+// QoSPolicy scales on application QoS: any service whose windowed
+// ingress drop ratio — or, when a latency SLO is set, p95 service
+// latency — exceeds its threshold gets a replica (earliest pipeline
+// stage first, since upstream relief propagates downstream). With
+// scale-in enabled it also retires a replica from the most
+// over-provisioned healthy service, so capacity follows load in both
+// directions.
 type QoSPolicy struct {
 	// DropThreshold is the windowed drop-ratio trigger (default 0.1).
 	DropThreshold float64
 	// MinSamples avoids reacting to nearly idle services (default 30).
 	MinSamples uint64
+	// P95ThresholdMicros triggers scale-out when a service's p95 service
+	// latency exceeds it — the latency-aware arm of the policy. Zero
+	// disables the latency trigger (drop ratio only).
+	P95ThresholdMicros uint64
+	// EnableScaleDown lets the policy retire replicas of idle services.
+	EnableScaleDown bool
+	// IdlePerReplica is the windowed arrivals-per-replica floor under
+	// which a multi-replica service with no drops counts as
+	// over-provisioned (default 5, used only with EnableScaleDown).
+	IdlePerReplica uint64
 }
 
 // Name implements Policy.
@@ -135,14 +206,47 @@ func (p QoSPolicy) Decide(sig Signal) []Decision {
 		minSamples = 30
 	}
 	for _, svc := range sig.Services {
-		if svc.Arrived < minSamples {
+		if svc.Arrived < minSamples && !(svc.Dropped > 0 && svc.Arrived == 0) {
 			continue
 		}
 		if svc.DropRatio > threshold {
 			return []Decision{{
 				Step: svc.Step,
+				Verb: VerbScaleUp,
 				Reason: fmt.Sprintf("%s drop ratio %.0f%% over threshold %.0f%%",
 					svc.Step, svc.DropRatio*100, threshold*100),
+			}}
+		}
+		if p.P95ThresholdMicros > 0 && svc.P95Micros > p.P95ThresholdMicros {
+			return []Decision{{
+				Step: svc.Step,
+				Verb: VerbScaleUp,
+				Reason: fmt.Sprintf("%s p95 %.1fms over threshold %.1fms",
+					svc.Step, float64(svc.P95Micros)/1000, float64(p.P95ThresholdMicros)/1000),
+			}}
+		}
+	}
+	if !p.EnableScaleDown {
+		return nil
+	}
+	idle := p.IdlePerReplica
+	if idle == 0 {
+		idle = 5
+	}
+	// No distress anywhere: retire one replica from the most
+	// over-provisioned idle service (deepest stage first, so upstream
+	// capacity — which shields the stages behind it — goes last).
+	for i := len(sig.Services) - 1; i >= 0; i-- {
+		svc := sig.Services[i]
+		if svc.Replicas <= 1 || svc.Dropped > 0 || svc.AdmissionDropped > 0 {
+			continue
+		}
+		if svc.Arrived/uint64(svc.Replicas) < idle {
+			return []Decision{{
+				Step: svc.Step,
+				Verb: VerbScaleDown,
+				Reason: fmt.Sprintf("%s idle: %d arrivals over %d replicas this window",
+					svc.Step, svc.Arrived, svc.Replicas),
 			}}
 		}
 	}
@@ -158,12 +262,141 @@ func (StaticPolicy) Name() string { return "static" }
 // Decide implements Policy.
 func (StaticPolicy) Decide(Signal) []Decision { return nil }
 
-// ScaleEvent records one applied decision.
+// AdmissionPolicy maps sustained distress at the replica cap to a
+// per-service admission verdict with hysteresis: distress escalates one
+// severity level at a time (admit → degrade → reject, straight to
+// reject past RejectRatio), recovery steps back down one level per
+// period once the windowed distress ratio falls under RecoverRatio.
+// Because admission drops are excluded from the distress ratio, a
+// rejected service's ratio collapses as its queue drains — which is
+// exactly the signal that steps the verdict back down.
+type AdmissionPolicy struct {
+	// DegradeRatio is the windowed distress drop ratio that engages
+	// ingress decimation (default 0.1).
+	DegradeRatio float64
+	// RejectRatio is the ratio that turns all ingress away (default 0.5).
+	RejectRatio float64
+	// RecoverRatio is the ratio under which the verdict relaxes one
+	// level (default 0.02).
+	RecoverRatio float64
+	// MinSamples below which a window counts as recovered — an idle
+	// service must never stay rejected (default 10).
+	MinSamples uint64
+}
+
+func (p AdmissionPolicy) withDefaults() AdmissionPolicy {
+	if p.DegradeRatio <= 0 {
+		p.DegradeRatio = 0.1
+	}
+	if p.RejectRatio <= 0 {
+		p.RejectRatio = 0.5
+	}
+	if p.RecoverRatio <= 0 {
+		p.RecoverRatio = 0.02
+	}
+	if p.MinSamples == 0 {
+		p.MinSamples = 10
+	}
+	return p
+}
+
+// Next returns the verdict for one service given its windowed signal and
+// whether scale-out is exhausted (at the replica cap or unschedulable).
+// While scale-out can still act, admission always relaxes toward admit —
+// adding replicas is strictly preferable to turning users away.
+func (p AdmissionPolicy) Next(cur AdmitState, svc ServiceSignal, capped bool) AdmitState {
+	p = p.withDefaults()
+	relax := func() AdmitState {
+		if cur > AdmitOK {
+			return cur - 1
+		}
+		return AdmitOK
+	}
+	if !capped {
+		return relax()
+	}
+	ratio := svc.DropRatio
+	if svc.Arrived < p.MinSamples && !(svc.Dropped > 0 && svc.Arrived == 0) {
+		ratio = 0
+	}
+	switch {
+	case ratio >= p.RejectRatio:
+		return AdmitReject
+	case ratio >= p.DegradeRatio:
+		if cur < AdmitDegrade {
+			return AdmitDegrade
+		}
+		return cur
+	case ratio <= p.RecoverRatio:
+		return relax()
+	default:
+		return cur
+	}
+}
+
+// WindowDelta is the saturating counter delta the control loop windows
+// cumulative telemetry with: a source reset (collector restart, worker
+// replacement) makes cur < last, in which case cur itself is the best
+// estimate of the period's activity — never a uint64 wraparound.
+func WindowDelta(cur, last uint64) uint64 {
+	if cur < last {
+		return cur
+	}
+	return cur - last
+}
+
+// WindowMachines converts cumulative machine usage snapshots into
+// per-period utilization: for each machine in cur, utilization is the
+// busy-integral delta against prev (matched by name; absent means zero)
+// over the elapsed window. Machines whose snapshots carry no busy
+// integrals (CPUBusy==0 with CPUUtil>0 — a hardware-only telemetry
+// source) keep their reported utilization, which for live gauges is
+// already instantaneous.
+func WindowMachines(prev, cur []metrics.MachineUsage, window time.Duration) []metrics.MachineUsage {
+	if window <= 0 {
+		return cur
+	}
+	last := make(map[string]metrics.MachineUsage, len(prev))
+	for _, m := range prev {
+		last[m.Machine] = m
+	}
+	out := make([]metrics.MachineUsage, len(cur))
+	for i, m := range cur {
+		w := m
+		if m.CPUBusy > 0 || m.GPUBusy > 0 || m.CPUUtil == 0 && m.GPUUtil == 0 {
+			p := last[m.Machine]
+			if m.CPUSlots > 0 {
+				d := m.CPUBusy - p.CPUBusy
+				if d < 0 {
+					d = m.CPUBusy
+				}
+				w.CPUUtil = float64(d) / float64(time.Duration(m.CPUSlots)*window)
+			}
+			if m.GPUSlots > 0 {
+				d := m.GPUBusy - p.GPUBusy
+				if d < 0 {
+					d = m.GPUBusy
+				}
+				w.GPUUtil = float64(d) / float64(time.Duration(m.GPUSlots)*window)
+			}
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// ScaleEvent records one applied decision — a replica added or retired,
+// or an admission verdict change (Machine empty, Admit set).
 type ScaleEvent struct {
 	At      sim.Time
 	Step    wire.Step
+	Verb    Verb
 	Machine string
 	Reason  string
+	// Admission marks an admit-state transition event; Admit is the new
+	// verdict.
+	Admission bool
+	Admit     AdmitState
 }
 
 // Config parameterizes an Autoscaler.
@@ -174,6 +407,13 @@ type Config struct {
 	Hosts []*testbed.Machine
 	// MaxReplicas caps replicas per service (default 3).
 	MaxReplicas int
+	// MinReplicas floors scale-in (default 1).
+	MinReplicas int
+	// AdmissionEnabled escalates to admission control when a scale-up
+	// decision cannot be applied (cap reached or no host fits).
+	AdmissionEnabled bool
+	// Admission tunes the escalation thresholds (defaults applied).
+	Admission AdmissionPolicy
 }
 
 // Autoscaler runs a Policy's control loop against a simulated pipeline.
@@ -184,10 +424,13 @@ type Autoscaler struct {
 	policy Policy
 	cfg    Config
 
-	lastArrived [wire.NumSteps]uint64
-	lastDropped [wire.NumSteps]uint64
-	nextHost    int
-	events      []ScaleEvent
+	lastArrived   [wire.NumSteps]uint64
+	lastDropped   [wire.NumSteps]uint64
+	lastAdmission [wire.NumSteps]uint64
+	lastMachines  []metrics.MachineUsage
+	lastEval      sim.Time
+	nextHost      int
+	events        []ScaleEvent
 }
 
 // New wires an autoscaler. It panics on a missing policy or hosts —
@@ -205,6 +448,10 @@ func New(eng *sim.Engine, p *core.Pipeline, col *metrics.Collector, policy Polic
 	if cfg.MaxReplicas <= 0 {
 		cfg.MaxReplicas = 3
 	}
+	if cfg.MinReplicas <= 0 {
+		cfg.MinReplicas = 1
+	}
+	cfg.Admission = cfg.Admission.withDefaults()
 	return &Autoscaler{eng: eng, p: p, col: col, policy: policy, cfg: cfg}
 }
 
@@ -220,45 +467,139 @@ func (a *Autoscaler) Start(deadline sim.Time) {
 	a.eng.After(a.cfg.Period, tick)
 }
 
-// Events returns the applied scale-out actions.
+// Events returns the applied scale and admission actions.
 func (a *Autoscaler) Events() []ScaleEvent { return a.events }
 
-func (a *Autoscaler) evaluate() {
-	sig := Signal{Now: a.eng.Now()}
+// signal assembles the windowed telemetry snapshot for this period.
+func (a *Autoscaler) signal() Signal {
+	now := a.eng.Now()
+	sig := Signal{Now: now}
 	for step := 0; step < wire.NumSteps; step++ {
 		name := wire.Step(step).String()
 		arrived, _, dropped := a.col.ServiceCounters(name)
-		dArr := arrived - a.lastArrived[step]
-		dDrop := dropped - a.lastDropped[step]
+		admissionDropped := a.col.ServiceAdmissionDrops(name)
+		dArr := WindowDelta(arrived, a.lastArrived[step])
+		dDrop := WindowDelta(dropped, a.lastDropped[step])
+		dAdm := WindowDelta(admissionDropped, a.lastAdmission[step])
 		a.lastArrived[step] = arrived
 		a.lastDropped[step] = dropped
+		a.lastAdmission[step] = admissionDropped
+		// Arrived counts every ingress request including ones admission
+		// later refused; Dropped carries distress drops only, so the
+		// ratio is the service's own health, not the controller's hand.
 		svc := ServiceSignal{
-			Step:     wire.Step(step),
-			Arrived:  dArr,
-			Dropped:  dDrop,
-			Replicas: len(a.p.Instances(wire.Step(step))),
+			Step:             wire.Step(step),
+			Arrived:          dArr,
+			Dropped:          dDrop,
+			AdmissionDropped: dAdm,
+			Replicas:         len(a.p.Instances(wire.Step(step))),
 		}
-		if dArr > 0 {
+		switch {
+		case dArr > 0:
 			svc.DropRatio = float64(dDrop) / float64(dArr)
+		case dDrop > 0:
+			// Drops with zero arrivals: the service worked off (and shed)
+			// backlog while admitting nothing new — full distress, not
+			// perfect health.
+			svc.DropRatio = 1
 		}
 		sig.Services[step] = svc
 	}
-	_, sig.Machines = a.p.Usage()
+	_, cum := a.p.Usage()
+	sig.Machines = WindowMachines(a.lastMachines, cum, time.Duration(now-a.lastEval))
+	a.lastMachines = cum
+	a.lastEval = now
+	return sig
+}
+
+func (a *Autoscaler) evaluate() {
+	sig := a.signal()
 
 	for _, d := range a.policy.Decide(sig) {
-		if len(a.p.Instances(d.Step)) >= a.cfg.MaxReplicas {
-			continue
+		switch d.Verb {
+		case VerbScaleUp:
+			a.scaleUp(sig, d)
+		case VerbScaleDown:
+			if len(a.p.Instances(d.Step)) <= a.cfg.MinReplicas {
+				continue
+			}
+			if err := a.p.RemoveReplica(d.Step); err != nil {
+				continue
+			}
+			a.events = append(a.events, ScaleEvent{
+				At:     a.eng.Now(),
+				Step:   d.Step,
+				Verb:   VerbScaleDown,
+				Reason: d.Reason,
+			})
 		}
+	}
+
+	// Admission recovery: verdicts relax as the distress ratio falls,
+	// independent of whether the policy decided anything this period.
+	if a.cfg.AdmissionEnabled {
+		for step := 0; step < wire.NumSteps; step++ {
+			st := wire.Step(step)
+			cur := a.p.AdmitStateOf(st)
+			if cur == core.AdmitOK {
+				continue
+			}
+			capped := len(a.p.Instances(st)) >= a.cfg.MaxReplicas
+			next := a.cfg.Admission.Next(cur, sig.Services[step], capped)
+			if next != cur {
+				a.setAdmit(st, next, "windowed distress ratio recovered")
+			}
+		}
+	}
+}
+
+// scaleUp applies one scale-out decision, trying every host round-robin;
+// when the service is capped or no host fits, it escalates to admission
+// control instead (if enabled).
+func (a *Autoscaler) scaleUp(sig Signal, d Decision) {
+	step := d.Step
+	if len(a.p.Instances(step)) >= a.cfg.MaxReplicas {
+		a.escalate(sig, step, "replica cap reached: "+d.Reason)
+		return
+	}
+	for try := 0; try < len(a.cfg.Hosts); try++ {
 		host := a.cfg.Hosts[a.nextHost%len(a.cfg.Hosts)]
 		a.nextHost++
-		if _, err := a.p.AddReplica(d.Step, host); err != nil {
-			continue // host full; try another next round
+		if _, err := a.p.AddReplica(step, host); err != nil {
+			continue // host full; try the next
 		}
 		a.events = append(a.events, ScaleEvent{
 			At:      a.eng.Now(),
-			Step:    d.Step,
+			Step:    step,
+			Verb:    VerbScaleUp,
 			Machine: host.Name(),
 			Reason:  d.Reason,
 		})
+		return
 	}
+	a.escalate(sig, step, "unschedulable: "+d.Reason)
+}
+
+// escalate raises a service's admission verdict when scale-out cannot
+// relieve it.
+func (a *Autoscaler) escalate(sig Signal, step wire.Step, reason string) {
+	if !a.cfg.AdmissionEnabled {
+		return
+	}
+	cur := a.p.AdmitStateOf(step)
+	next := a.cfg.Admission.Next(cur, sig.Services[step], true)
+	if next != cur {
+		a.setAdmit(step, next, reason)
+	}
+}
+
+func (a *Autoscaler) setAdmit(step wire.Step, next AdmitState, reason string) {
+	a.p.SetAdmitState(step, next)
+	a.events = append(a.events, ScaleEvent{
+		At:        a.eng.Now(),
+		Step:      step,
+		Reason:    reason,
+		Admission: true,
+		Admit:     next,
+	})
 }

@@ -271,6 +271,12 @@ type Instance struct {
 	cpuBusy  time.Duration
 	gpuBusy  time.Duration
 	stateMem int64
+
+	// retired marks a replica removed by scale-in: it takes no new
+	// frames (already out of the routing table) and frees its baseline
+	// memory once drained (released).
+	retired  bool
+	released bool
 }
 
 // Name returns the service name (shared across replicas, as the paper's
@@ -300,6 +306,12 @@ type Pipeline struct {
 	rr        [wire.NumSteps]int
 	machines  []*testbed.Machine
 	clients   int
+
+	// admit holds the per-service admission verdicts pushed by an
+	// application-aware controller (SetAdmitState); admissionDrops counts
+	// the frames they refused, per step.
+	admit          [wire.NumSteps]AdmitState
+	admissionDrops [wire.NumSteps]uint64
 
 	// routes mirrors the runtime's per-replica statistics windows on the
 	// virtual clock (WeightedRouting); nil when routing is plain RR.
@@ -439,6 +451,60 @@ func (p *Pipeline) AddReplica(step wire.Step, m *testbed.Machine) (*Instance, er
 	return in, nil
 }
 
+// RemoveReplica retires the most recently added replica of step —
+// dynamic scale-in, the inverse of AddReplica. The replica leaves the
+// routing table immediately so no new frames reach it; frames already
+// queued or in flight on it drain normally, and its baseline memory is
+// released once it goes idle (immediately when it already is). Scaling a
+// service below one replica is refused.
+func (p *Pipeline) RemoveReplica(step wire.Step) error {
+	if !step.Valid() || step == wire.StepDone {
+		return fmt.Errorf("core: cannot remove replica for step %v", step)
+	}
+	reps := p.instances[step]
+	if len(reps) <= 1 {
+		return fmt.Errorf("core: %s has %d replica(s); cannot scale below one", step, len(reps))
+	}
+	in := reps[len(reps)-1]
+	p.instances[step] = reps[:len(reps)-1]
+	p.syncRoutes(step)
+	if p.repOf != nil {
+		delete(p.repOf, in)
+	}
+	in.retired = true
+	in.maybeReleaseRetired()
+	return nil
+}
+
+// maybeReleaseRetired frees a retired replica's baseline memory once it
+// has fully drained (not busy, empty queue, no pending batch flush).
+// Held sift states stay allocated until fetched or timed out — their
+// release path already runs on the state lifecycle.
+func (in *Instance) maybeReleaseRetired() {
+	if !in.retired || in.released || in.busy || len(in.queue) > 0 || in.flush != nil {
+		return
+	}
+	in.released = true
+	in.machine.FreeMem(in.prof.BaselineMem)
+}
+
+// SetAdmitState installs a service's admission verdict — the sim mirror
+// of the heartbeat-carried admit state the real sidecar enforces. It
+// applies to frames arriving after this virtual instant.
+func (p *Pipeline) SetAdmitState(step wire.Step, s AdmitState) {
+	if !step.Valid() || step == wire.StepDone {
+		return
+	}
+	p.admit[step] = s
+}
+
+// AdmitStateOf returns a service's current admission verdict.
+func (p *Pipeline) AdmitStateOf(step wire.Step) AdmitState { return p.admit[step] }
+
+// AdmissionDrops returns how many frames admission control refused at a
+// step's ingress.
+func (p *Pipeline) AdmissionDrops(step wire.Step) uint64 { return p.admissionDrops[step] }
+
 // Options returns the effective options after defaulting.
 func (p *Pipeline) Options() Options { return p.opts }
 
@@ -568,6 +634,21 @@ func (p *Pipeline) transit(link *netem.Link, bytes int, onArrive func(), lb bool
 // loss at the sender.
 func (p *Pipeline) arrive(in *Instance, fr *simFrame) {
 	p.col.ServiceArrived(in.Name(), p.eng.Now())
+	// Admission control holds the door before either mode's queue/busy
+	// check: reject turns every frame away, degrade decimates the ingress
+	// to one frame in DegradeStride by frame number. Refused frames
+	// resolve their hop as lost (no ack on the real data plane) and are
+	// accounted as admission drops, not distress drops.
+	if st := p.admit[in.step]; st != AdmitOK {
+		if st == AdmitReject || fr.frameNo%DegradeStride != 0 {
+			p.routeOutcome(fr, false)
+			p.admissionDrops[in.step]++
+			p.col.ServiceAdmissionDropped(in.Name())
+			p.col.FrameDropped(metrics.DropAdmission)
+			in.recordSpan(fr, p.eng.Now(), p.eng.Now(), p.eng.Now(), obs.OutcomeAdmission)
+			return
+		}
+	}
 	if p.opts.Mode == ModeScatter {
 		if in.busy {
 			// One frame at a time, no queue: outstanding requests at
@@ -865,6 +946,7 @@ func (in *Instance) idle() {
 	if in.p.opts.Mode == ModeScatterPP {
 		in.kick()
 	}
+	in.maybeReleaseRetired()
 }
 
 // deliver sends the processed frame back to its client. A full
@@ -1112,6 +1194,10 @@ func (p *Pipeline) Usage() (map[string]ServiceUsage, []metrics.MachineUsage) {
 			GPUUtil:  m.GPU.Utilization(),
 			MemBytes: m.MemUsed(),
 			MemPeak:  m.MemPeak(),
+			CPUBusy:  m.CPU.BusyIntegral(),
+			GPUBusy:  m.GPU.BusyIntegral(),
+			CPUSlots: m.Config().CPUCores,
+			GPUSlots: m.Config().GPUs,
 		})
 	}
 	return services, machines

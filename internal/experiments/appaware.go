@@ -118,11 +118,16 @@ func AppAware(duration time.Duration) ([]AppAwarePoint, Report) {
 		ID:    "appaware",
 		Title: "Application-aware orchestration (paper §6 future work)",
 		Notes: `Extension beyond the paper's evaluation: the sidecar exports drop
-		ratios through predefined hooks and an autoscaler acts on them. A
+		ratios through predefined hooks and an autoscaler acts on them. Under
+		scAtteR's busy-drop collapse the devices stay underutilized, so the
 		hardware-threshold policy (what utilization-only orchestrators can do)
-		never fires during the collapse — insight (I)/(IV) — while the QoS
-		policy scales the distressed service; the gain is large for scAtteR++
-		and limited for scAtteR (state tie-ins, insight III).`,
+		never fires — insight (I)/(IV). Under scAtteR++'s queued collapse the
+		shared GPU does saturate and correctly windowed utilization eventually
+		trips the hardware policy, but it scales the busiest-by-ingress
+		service rather than the distressed one, needing more actions for less
+		gain than the QoS policy, which scales the distressed stage directly;
+		the overall gain is large for scAtteR++ and limited for scAtteR
+		(state tie-ins, insight III).`,
 		Tables: []Table{table, events},
 	}
 	return pts, r

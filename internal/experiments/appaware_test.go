@@ -18,14 +18,6 @@ func TestAppAwareComparison(t *testing.T) {
 		static := byKey[mode+"/static"]
 		hw := byKey[mode+"/hardware"]
 		qos := byKey[mode+"/qos"]
-		// Insight (I)/(IV): hardware-only policy is blind — identical to
-		// static (it never fires during the low-utilization collapse).
-		if len(hw.Events) != 0 {
-			t.Errorf("%s: hardware policy fired %d times", mode, len(hw.Events))
-		}
-		if hw.Summary.FPSAggregate != static.Summary.FPSAggregate {
-			t.Errorf("%s: hardware run diverged from static without scaling", mode)
-		}
 		// The QoS policy must react and improve aggregate throughput.
 		if len(qos.Events) == 0 {
 			t.Errorf("%s: qos policy never scaled", mode)
@@ -33,6 +25,36 @@ func TestAppAwareComparison(t *testing.T) {
 		if qos.Summary.FPSAggregate <= static.Summary.FPSAggregate*1.1 {
 			t.Errorf("%s: qos scaling did not help (%.1f vs %.1f)",
 				mode, qos.Summary.FPSAggregate, static.Summary.FPSAggregate)
+		}
+		switch mode {
+		case "scAtteR":
+			// Insight (I)/(IV): the busy-drop collapse keeps the devices
+			// underutilized, so even correctly windowed utilization never
+			// crosses a threshold — the hardware policy is fully blind and
+			// its run is bit-identical to static.
+			if len(hw.Events) != 0 {
+				t.Errorf("%s: hardware policy fired %d times", mode, len(hw.Events))
+			}
+			if hw.Summary.FPSAggregate != static.Summary.FPSAggregate {
+				t.Errorf("%s: hardware run diverged from static without scaling", mode)
+			}
+		case "scAtteR++":
+			// The queued collapse does saturate the shared GPU, so windowed
+			// utilization eventually trips the hardware policy (cumulative
+			// utilization — the old bug — never did). But it scales blind:
+			// busiest-by-ingress, not the distressed stage, so it needs more
+			// actions than the QoS policy and still does not beat it.
+			if len(hw.Events) == 0 {
+				t.Errorf("%s: windowed hardware policy never saw the saturated GPU", mode)
+			}
+			if len(qos.Events) >= len(hw.Events) {
+				t.Errorf("%s: qos needed %d actions, hardware %d — app-aware targeting should need fewer",
+					mode, len(qos.Events), len(hw.Events))
+			}
+			if qos.Summary.FPSAggregate < hw.Summary.FPSAggregate {
+				t.Errorf("%s: hardware scaling beat qos (%.1f vs %.1f)",
+					mode, hw.Summary.FPSAggregate, qos.Summary.FPSAggregate)
+			}
 		}
 	}
 	// scAtteR++ with QoS autoscaling is the overall best system.

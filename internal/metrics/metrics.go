@@ -23,6 +23,7 @@ const (
 	DropTimeout   DropReason = "timeout"   // dependency wait timed out
 	DropThreshold DropReason = "threshold" // sidecar latency threshold exceeded
 	DropOverflow  DropReason = "overflow"  // sidecar queue full
+	DropAdmission DropReason = "admission" // refused by admission control at ingress
 )
 
 // Collector accumulates per-run statistics. It is not safe for concurrent
@@ -45,13 +46,17 @@ type Collector struct {
 
 // ServiceStats aggregates one service's sidecar/processing counters.
 type ServiceStats struct {
-	Processed  uint64
-	Dropped    uint64 // dropped at this service's ingress
-	Arrived    uint64 // ingress requests observed (processed + dropped + queued at end)
-	queueSum   time.Duration
-	procSum    time.Duration
-	arriveTime []time.Duration // ingress timestamps, for per-service FPS
-	dropTime   []time.Duration // ingress-drop timestamps, for drop-ratio series
+	Processed uint64
+	Dropped   uint64 // dropped at this service's ingress (distress: busy/overflow/threshold)
+	Arrived   uint64 // ingress requests observed (processed + dropped + queued at end)
+	// AdmissionDropped counts frames refused by admission control —
+	// deliberate control actions, kept out of Dropped so the distress
+	// drop ratio recovers while rejection holds.
+	AdmissionDropped uint64
+	queueSum         time.Duration
+	procSum          time.Duration
+	arriveTime       []time.Duration // ingress timestamps, for per-service FPS
+	dropTime         []time.Duration // ingress-drop timestamps, for drop-ratio series
 }
 
 // NewCollector returns an empty collector.
@@ -128,6 +133,22 @@ func (c *Collector) ServiceProcessed(name string, queue, proc time.Duration) {
 // ServiceDropped records a request dropped at a service ingress.
 func (c *Collector) ServiceDropped(name string) { c.service(name).Dropped++ }
 
+// ServiceAdmissionDropped records a request refused by admission control
+// at a service ingress. Deliberately not folded into Dropped: admission
+// drops are the controller's own doing, and counting them as distress
+// would keep the drop ratio pinned high and defeat recovery hysteresis.
+func (c *Collector) ServiceAdmissionDropped(name string) { c.service(name).AdmissionDropped++ }
+
+// ServiceAdmissionDrops returns a service's cumulative admission-control
+// refusals. Unknown services return zero.
+func (c *Collector) ServiceAdmissionDrops(name string) uint64 {
+	s, ok := c.services[name]
+	if !ok {
+		return 0
+	}
+	return s.AdmissionDropped
+}
+
 // ServiceCounters returns a service's cumulative ingress/processing
 // counters — the predefined hook an application-aware orchestrator polls
 // (the paper's §6 proposal). Unknown services return zeros.
@@ -174,6 +195,7 @@ func (c *Collector) Merge(other *Collector) {
 		s.Processed += ost.Processed
 		s.Dropped += ost.Dropped
 		s.Arrived += ost.Arrived
+		s.AdmissionDropped += ost.AdmissionDropped
 		s.queueSum += ost.queueSum
 		s.procSum += ost.procSum
 		s.arriveTime = append(s.arriveTime, ost.arriveTime...)
@@ -181,13 +203,23 @@ func (c *Collector) Merge(other *Collector) {
 	}
 }
 
-// MachineUsage is a utilization snapshot of one machine at run end.
+// MachineUsage is a utilization snapshot of one machine. CPUUtil/GPUUtil
+// are cumulative (mean slot-busy fraction since the start of the run);
+// the busy integrals and slot counts let a control loop window them —
+// utilization over one period is Δbusy / (slots × Δt) — so a policy sees
+// the last interval instead of the whole history.
 type MachineUsage struct {
 	Machine  string
-	CPUUtil  float64 // normalized to total cores, [0, 1]
+	CPUUtil  float64 // normalized to total cores, [0, 1], since run start
 	GPUUtil  float64
 	MemBytes int64 // current memory reservation
 	MemPeak  int64
+	// CPUBusy/GPUBusy are the cumulative slot-busy integrals backing the
+	// utilization fractions; CPUSlots/GPUSlots the device capacities.
+	CPUBusy  time.Duration
+	GPUBusy  time.Duration
+	CPUSlots int
+	GPUSlots int
 }
 
 // ServiceSummary is the per-service view in a Summary.

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// AdmissionServiceDigest is one service's admission-control state on a
+// node: the enforced verdict and how many frames it has refused.
+type AdmissionServiceDigest struct {
+	Service string `json:"service"`
+	State   string `json:"state"` // "admit" | "degrade" | "reject"
+	Drops   uint64 `json:"drops"`
+}
+
+// AdmissionDigest is the live snapshot of sidecar admission enforcement
+// on one node, exposed as scatter_admission_* and in /metrics.json.
+type AdmissionDigest struct {
+	Services []AdmissionServiceDigest `json:"services"`
+}
+
+// SetAdmissionSource installs the snapshot function the registry exposes
+// as scatter_admission_* series. Called on every scrape; it should be
+// cheap. A nil source removes the exposition.
+func (r *Registry) SetAdmissionSource(fn func() AdmissionDigest) {
+	r.admissionSrc.Store(admissionSource{fn})
+}
+
+// admissionSource wraps the snapshot func so atomic.Value always stores
+// one concrete type.
+type admissionSource struct {
+	fn func() AdmissionDigest
+}
+
+// AdmissionDigest snapshots the installed admission source; ok is false
+// when no enforcement point is publishing.
+func (r *Registry) AdmissionDigest() (AdmissionDigest, bool) {
+	src, ok := r.admissionSrc.Load().(admissionSource)
+	if !ok || src.fn == nil {
+		return AdmissionDigest{}, false
+	}
+	return src.fn(), true
+}
+
+// admitStateRank orders verdict severity for gauge exposition:
+// admit=0, degrade=1, reject=2 (unknown states read as admit).
+func admitStateRank(state string) int {
+	switch state {
+	case "degrade":
+		return 1
+	case "reject":
+		return 2
+	default:
+		return 0
+	}
+}
+
+// writeTextAdmission renders the admission snapshot as Prometheus text
+// lines.
+func writeTextAdmission(w io.Writer, d AdmissionDigest) {
+	if len(d.Services) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE scatter_admission_state gauge\n")
+	fmt.Fprintf(w, "# TYPE scatter_admission_drops_total counter\n")
+	for _, s := range d.Services {
+		l := fmt.Sprintf("{service=%q}", s.Service)
+		fmt.Fprintf(w, "scatter_admission_state%s %d\n", l, admitStateRank(s.State))
+		fmt.Fprintf(w, "scatter_admission_drops_total%s %d\n", l, s.Drops)
+	}
+}
+
+// AutoscaleServiceDigest is one service as the autoscale control loop
+// sees it: live replica count, the last windowed distress ratio, and the
+// admission verdict in force.
+type AutoscaleServiceDigest struct {
+	Service    string  `json:"service"`
+	Replicas   int     `json:"replicas"`
+	DropRatio  float64 `json:"drop_ratio"`
+	P95Micros  uint64  `json:"p95_us"`
+	Admit      string  `json:"admit"`
+	LastReason string  `json:"last_reason,omitempty"`
+}
+
+// AutoscaleDigest is the control loop's self-exposition: which policy
+// runs, how often it has evaluated and acted, and the per-service view
+// it last decided on. The orchestrator serves it at /api/v1/autoscaler
+// and as scatter_autoscale_* on /metrics.
+type AutoscaleDigest struct {
+	Policy      string                   `json:"policy"`
+	Evaluations uint64                   `json:"evaluations"`
+	ScaleUps    uint64                   `json:"scale_ups"`
+	ScaleDowns  uint64                   `json:"scale_downs"`
+	Escalations uint64                   `json:"escalations"` // admission verdict raises
+	Relaxations uint64                   `json:"relaxations"` // admission verdict drops
+	Services    []AutoscaleServiceDigest `json:"services,omitempty"`
+}
+
+// WriteAutoscaleText renders the autoscale snapshot as Prometheus text
+// lines — shared by the orchestrator's /metrics and any node-local
+// exposition of an embedded control loop.
+func WriteAutoscaleText(w io.Writer, d AutoscaleDigest) {
+	fmt.Fprintf(w, "# TYPE scatter_autoscale_evaluations_total counter\n")
+	fmt.Fprintf(w, "scatter_autoscale_evaluations_total{policy=%q} %d\n", d.Policy, d.Evaluations)
+	fmt.Fprintf(w, "# TYPE scatter_autoscale_scale_ups_total counter\n")
+	fmt.Fprintf(w, "scatter_autoscale_scale_ups_total{policy=%q} %d\n", d.Policy, d.ScaleUps)
+	fmt.Fprintf(w, "# TYPE scatter_autoscale_scale_downs_total counter\n")
+	fmt.Fprintf(w, "scatter_autoscale_scale_downs_total{policy=%q} %d\n", d.Policy, d.ScaleDowns)
+	fmt.Fprintf(w, "# TYPE scatter_autoscale_admission_escalations_total counter\n")
+	fmt.Fprintf(w, "scatter_autoscale_admission_escalations_total{policy=%q} %d\n", d.Policy, d.Escalations)
+	fmt.Fprintf(w, "# TYPE scatter_autoscale_admission_relaxations_total counter\n")
+	fmt.Fprintf(w, "scatter_autoscale_admission_relaxations_total{policy=%q} %d\n", d.Policy, d.Relaxations)
+	if len(d.Services) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE scatter_autoscale_replicas gauge\n")
+	fmt.Fprintf(w, "# TYPE scatter_autoscale_drop_ratio gauge\n")
+	fmt.Fprintf(w, "# TYPE scatter_autoscale_admit_state gauge\n")
+	for _, s := range d.Services {
+		l := fmt.Sprintf("{service=%q}", s.Service)
+		fmt.Fprintf(w, "scatter_autoscale_replicas%s %d\n", l, s.Replicas)
+		fmt.Fprintf(w, "scatter_autoscale_drop_ratio%s %g\n", l, s.DropRatio)
+		fmt.Fprintf(w, "scatter_autoscale_admit_state%s %d\n", l, admitStateRank(s.Admit))
+	}
+}

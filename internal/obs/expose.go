@@ -123,6 +123,9 @@ func writeTextMetrics(w http.ResponseWriter, reg *Registry) {
 	if d, ok := reg.FastPathDigest(); ok {
 		writeTextFastPath(w, d)
 	}
+	if d, ok := reg.AdmissionDigest(); ok {
+		writeTextAdmission(w, d)
+	}
 }
 
 func writeTextHistogram(w http.ResponseWriter, metric, service string, h *Histogram) {
@@ -151,6 +154,7 @@ type jsonSnapshot struct {
 	Services        []jsonServiceSnap        `json:"services"`
 	Routes          []routestats.RouteDigest `json:"routes,omitempty"`
 	FastPath        *FastPathDigest          `json:"fastpath,omitempty"`
+	Admission       *AdmissionDigest         `json:"admission,omitempty"`
 }
 
 type jsonServiceSnap struct {
@@ -178,6 +182,9 @@ func jsonMetrics(reg *Registry) jsonSnapshot {
 	snap.Routes = reg.RouteDigests()
 	if d, ok := reg.FastPathDigest(); ok {
 		snap.FastPath = &d
+	}
+	if d, ok := reg.AdmissionDigest(); ok {
+		snap.Admission = &d
 	}
 	return snap
 }

@@ -35,6 +35,7 @@ const (
 	OutcomeError                    // processing error (real runtime)
 	OutcomeShutdown                 // abandoned in-queue at worker shutdown
 	OutcomeTransport                // lost below the worker (reassembly drop)
+	OutcomeAdmission                // refused by admission control at ingress
 )
 
 // String names the outcome for exposition and trace args.
@@ -56,6 +57,8 @@ func (o Outcome) String() string {
 		return "drop-shutdown"
 	case OutcomeTransport:
 		return "drop-transport"
+	case OutcomeAdmission:
+		return "drop-admission"
 	default:
 		return "unknown"
 	}

@@ -158,10 +158,14 @@ type ServiceMetrics struct {
 	Processed Counter
 	Dropped   Counter
 	Errors    Counter
-	QueueLen  Gauge
-	QueueLat  Histogram // time from ingress to processing start
-	ProcLat   Histogram // processing time
-	SvcLat    Histogram // queue + processing (the paper's service latency)
+	// AdmissionDrops counts ingress frames refused by admission control.
+	// Kept out of Dropped so the distress drop ratio — the autoscaler's
+	// recovery signal — reflects the service, not the controller.
+	AdmissionDrops Counter
+	QueueLen       Gauge
+	QueueLat       Histogram // time from ingress to processing start
+	ProcLat        Histogram // processing time
+	SvcLat         Histogram // queue + processing (the paper's service latency)
 
 	// Micro-batching series (zero unless the service dispatches batches):
 	// Batches counts dispatches, BatchFrames the frames they carried, so
@@ -208,6 +212,10 @@ type Registry struct {
 	// fastPathSrc holds the installed fastPathSource
 	// (SetFastPathSource); nil-fn until a fast-path gate is wired in.
 	fastPathSrc atomic.Value
+	// admissionSrc holds the installed admissionSource
+	// (SetAdmissionSource); nil-fn until an admission enforcement point
+	// is wired in.
+	admissionSrc atomic.Value
 }
 
 // NewRegistry returns an empty registry anchored at now.
@@ -263,10 +271,13 @@ type ServiceDigest struct {
 	Dropped   uint64  `json:"dropped"`
 	Errors    uint64  `json:"errors"`
 	DropRatio float64 `json:"drop_ratio"`
-	QueueLen  int64   `json:"queue_len"`
-	P50Micros uint64  `json:"p50_us"` // service latency percentiles
-	P95Micros uint64  `json:"p95_us"`
-	P99Micros uint64  `json:"p99_us"`
+	// AdmissionDrops counts admission-control refusals, excluded from
+	// Dropped and DropRatio.
+	AdmissionDrops uint64 `json:"admission_drops,omitempty"`
+	QueueLen       int64  `json:"queue_len"`
+	P50Micros      uint64 `json:"p50_us"` // service latency percentiles
+	P95Micros      uint64 `json:"p95_us"`
+	P99Micros      uint64 `json:"p99_us"`
 	// Batching summary: realized mean batch size and mean former wait.
 	Batches        uint64  `json:"batches,omitempty"`
 	BatchFrames    uint64  `json:"batch_frames,omitempty"`
@@ -281,15 +292,16 @@ func (r *Registry) Digest() []ServiceDigest {
 	for _, name := range names {
 		m := r.Service(name)
 		d := ServiceDigest{
-			Service:   name,
-			Arrived:   m.Arrived.Value(),
-			Processed: m.Processed.Value(),
-			Dropped:   m.Dropped.Value(),
-			Errors:    m.Errors.Value(),
-			QueueLen:  m.QueueLen.Value(),
-			P50Micros: uint64(m.SvcLat.Quantile(0.50) / time.Microsecond),
-			P95Micros: uint64(m.SvcLat.Quantile(0.95) / time.Microsecond),
-			P99Micros: uint64(m.SvcLat.Quantile(0.99) / time.Microsecond),
+			Service:        name,
+			Arrived:        m.Arrived.Value(),
+			Processed:      m.Processed.Value(),
+			Dropped:        m.Dropped.Value(),
+			Errors:         m.Errors.Value(),
+			AdmissionDrops: m.AdmissionDrops.Value(),
+			QueueLen:       m.QueueLen.Value(),
+			P50Micros:      uint64(m.SvcLat.Quantile(0.50) / time.Microsecond),
+			P95Micros:      uint64(m.SvcLat.Quantile(0.95) / time.Microsecond),
+			P99Micros:      uint64(m.SvcLat.Quantile(0.99) / time.Microsecond),
 		}
 		if d.Arrived > 0 {
 			d.DropRatio = float64(d.Dropped) / float64(d.Arrived)

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"github.com/edge-mar/scatter/internal/obs"
 	"github.com/edge-mar/scatter/internal/obs/routestats"
 )
 
@@ -21,11 +22,15 @@ import (
 //	GET    /api/v1/apps/{name}            current deployment
 //	DELETE /api/v1/apps/{name}            undeploy
 //	POST   /api/v1/failures/detect        run failure detection
+//	GET    /api/v1/autoscaler             control-loop status (404 without one)
 type APIServer struct {
 	root *Root
 	mux  *http.ServeMux
 	// now is injectable for tests.
 	now func() time.Time
+	// autoscaler is the attached control loop (SetAutoscaler); nil serves
+	// 404 on /api/v1/autoscaler.
+	autoscaler *Autoscaler
 }
 
 // NewAPIServer wraps a Root with the HTTP control plane.
@@ -40,6 +45,7 @@ func NewAPIServer(root *Root) *APIServer {
 	s.mux.HandleFunc("DELETE /api/v1/apps/{name}", s.undeploy)
 	s.mux.HandleFunc("POST /api/v1/failures/detect", s.detectFailures)
 	s.mux.HandleFunc("GET /api/v1/telemetry", s.telemetry)
+	s.mux.HandleFunc("GET /api/v1/autoscaler", s.autoscalerStatus)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	return s
@@ -47,6 +53,10 @@ func NewAPIServer(root *Root) *APIServer {
 
 // Handler returns the API's HTTP handler.
 func (s *APIServer) Handler() http.Handler { return s.mux }
+
+// SetAutoscaler attaches a control loop so the API exposes its status at
+// /api/v1/autoscaler and as scatter_autoscale_* on /metrics.
+func (s *APIServer) SetAutoscaler(a *Autoscaler) { s.autoscaler = a }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -113,7 +123,10 @@ func (s *APIServer) heartbeat(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	w.WriteHeader(http.StatusNoContent)
+	// The response is the control plane's downlink: current admission
+	// verdicts for every service under admission control. An empty list
+	// means everything is admitted.
+	writeJSON(w, http.StatusOK, HeartbeatResponse{Admissions: s.root.Admissions()})
 }
 
 func (s *APIServer) nodeStatus(w http.ResponseWriter, r *http.Request) {
@@ -172,6 +185,17 @@ func (s *APIServer) telemetry(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, t)
 }
 
+func (s *APIServer) autoscalerStatus(w http.ResponseWriter, r *http.Request) {
+	if s.autoscaler == nil {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		obs.AutoscaleDigest
+		Events []AutoscaleEvent `json:"events,omitempty"`
+	}{s.autoscaler.Status(), s.autoscaler.Events()})
+}
+
 func (s *APIServer) healthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
@@ -186,11 +210,14 @@ func (s *APIServer) metrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE scatter_orchestrator_nodes gauge\n")
 	fmt.Fprintf(w, "scatter_orchestrator_nodes{state=\"alive\"} %d\n", alive)
 	fmt.Fprintf(w, "scatter_orchestrator_nodes{state=\"dead\"} %d\n", dead)
+	if s.autoscaler != nil {
+		obs.WriteAutoscaleText(w, s.autoscaler.Status())
+	}
 	tel := s.root.AppTelemetry()
 	if len(tel) == 0 {
 		return
 	}
-	for _, name := range []string{"arrived", "processed", "dropped"} {
+	for _, name := range []string{"arrived", "processed", "dropped", "admission_dropped"} {
 		fmt.Fprintf(w, "# TYPE scatter_app_service_%s_total counter\n", name)
 	}
 	fmt.Fprintf(w, "# TYPE scatter_app_service_drop_ratio gauge\n")
@@ -201,6 +228,7 @@ func (s *APIServer) metrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "scatter_app_service_arrived_total%s %d\n", l, t.Arrived)
 		fmt.Fprintf(w, "scatter_app_service_processed_total%s %d\n", l, t.Processed)
 		fmt.Fprintf(w, "scatter_app_service_dropped_total%s %d\n", l, t.Dropped)
+		fmt.Fprintf(w, "scatter_app_service_admission_dropped_total%s %d\n", l, t.AdmissionDrops)
 		fmt.Fprintf(w, "scatter_app_service_drop_ratio%s %g\n", l, t.DropRatio)
 		fmt.Fprintf(w, "scatter_app_service_queue_len%s %d\n", l, t.QueueLen)
 		fmt.Fprintf(w, "scatter_app_service_latency_p95_seconds%s %g\n", l, float64(t.P95Micros)/1e6)

@@ -113,7 +113,7 @@ func TestAPIHeartbeatAndStatus(t *testing.T) {
 	srv, _ := apiFixture(t)
 	doJSON(t, "POST", srv.URL+"/api/v1/nodes", testbedNodes()[0], nil)
 	st := NodeStatus{CPUUtil: 0.5, GPUUtil: 0.25, MemUsed: 42}
-	if code := doJSON(t, "POST", srv.URL+"/api/v1/nodes/E1/heartbeat", st, nil); code != http.StatusNoContent {
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/nodes/E1/heartbeat", st, nil); code != http.StatusOK {
 		t.Fatalf("heartbeat code = %d", code)
 	}
 	var got NodeStatus

@@ -15,6 +15,9 @@ import (
 type Client struct {
 	base string
 	http *http.Client
+	// onAdmission receives the admission verdicts from every successful
+	// heartbeat response (SetAdmissionHandler).
+	onAdmission func([]ServiceAdmission)
 }
 
 // NewClient creates a control-plane client for the given base URL (e.g.
@@ -63,8 +66,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if resp.StatusCode >= 300 {
 		return apiErr(resp)
 	}
-	if out != nil {
+	if out != nil && resp.StatusCode != http.StatusNoContent {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			if err == io.EOF {
+				return nil // empty body: older server, nothing to decode
+			}
 			return fmt.Errorf("orchestrator: decode response: %w", err)
 		}
 	}
@@ -76,10 +82,21 @@ func (c *Client) Register(ctx context.Context, info NodeInfo) error {
 	return c.do(ctx, http.MethodPost, "/api/v1/nodes", info, nil)
 }
 
-// Heartbeat reports hardware telemetry for a node.
-func (c *Client) Heartbeat(ctx context.Context, nodeName string, status NodeStatus) error {
-	return c.do(ctx, http.MethodPost, "/api/v1/nodes/"+nodeName+"/heartbeat", status, nil)
+// Heartbeat reports telemetry for a node and returns the control plane's
+// downlink: the admission verdicts currently in force. An empty response
+// (including one from an older server replying 204) means every service
+// is admitted.
+func (c *Client) Heartbeat(ctx context.Context, nodeName string, status NodeStatus) (HeartbeatResponse, error) {
+	var out HeartbeatResponse
+	err := c.do(ctx, http.MethodPost, "/api/v1/nodes/"+nodeName+"/heartbeat", status, &out)
+	return out, err
 }
+
+// SetAdmissionHandler installs the callback that receives admission
+// verdicts from every successful heartbeat response. It is called even
+// with an empty list, so a cleared verdict set resets enforcement to
+// admit. Install before StartHeartbeats.
+func (c *Client) SetAdmissionHandler(fn func([]ServiceAdmission)) { c.onAdmission = fn }
 
 // Nodes lists the registered nodes.
 func (c *Client) Nodes(ctx context.Context) ([]NodeInfo, error) {
@@ -137,8 +154,15 @@ func (c *Client) StartHeartbeats(ctx context.Context, info NodeInfo, interval ti
 				if st.LastHeartbeat.IsZero() {
 					st.LastHeartbeat = time.Now()
 				}
-				if err := c.Heartbeat(ctx, info.Name, st); err != nil && onErr != nil {
-					onErr(err)
+				resp, err := c.Heartbeat(ctx, info.Name, st)
+				if err != nil {
+					if onErr != nil {
+						onErr(err)
+					}
+					continue
+				}
+				if c.onAdmission != nil {
+					c.onAdmission(resp.Admissions)
 				}
 			}
 		}

@@ -110,7 +110,7 @@ func TestClientHeartbeatErrors(t *testing.T) {
 	c, _ := clientFixture(t)
 	ctx := context.Background()
 	// Heartbeating an unregistered node surfaces 404.
-	err := c.Heartbeat(ctx, "ghost", NodeStatus{})
+	_, err := c.Heartbeat(ctx, "ghost", NodeStatus{})
 	if err == nil || !strings.Contains(err.Error(), "404") && !strings.Contains(err.Error(), "unknown") {
 		t.Errorf("err = %v", err)
 	}

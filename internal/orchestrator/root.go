@@ -32,6 +32,9 @@ type Root struct {
 	hooks     Hooks
 	// HeartbeatTimeout marks nodes dead when exceeded (default 3 s).
 	heartbeatTimeout time.Duration
+	// admissions holds the admission verdicts the control loop pushes to
+	// sidecars on heartbeat responses (service -> verdict).
+	admissions map[string]ServiceAdmission
 }
 
 type appState struct {
@@ -308,9 +311,13 @@ func (r *Root) AppTelemetry() []ServiceTelemetry {
 			t.Arrived += st.Arrived
 			t.Processed += st.Processed
 			t.Dropped += st.Dropped
+			t.AdmissionDrops += st.AdmissionDrops
 			t.QueueLen += st.QueueLen
 			if st.P95Micros > t.P95Micros {
 				t.P95Micros = st.P95Micros
+			}
+			if st.P99Micros > t.P99Micros {
+				t.P99Micros = st.P99Micros
 			}
 		}
 		for _, rt := range n.status.Routes {

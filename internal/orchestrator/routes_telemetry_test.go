@@ -115,7 +115,7 @@ func TestAPIMetricsReplicaLines(t *testing.T) {
 		{Service: "sift", Replica: "10.0.0.2:7001", State: "degraded", Weight: 0.25,
 			LatencyMicros: 50_000, LossRatio: 0.2, Sent: 50, Acked: 40, Lost: 10},
 	}}
-	if code := doJSON(t, "POST", srv.URL+"/api/v1/nodes/E1/heartbeat", status, nil); code != http.StatusNoContent {
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/nodes/E1/heartbeat", status, nil); code != http.StatusOK {
 		t.Fatalf("heartbeat with routes: %d", code)
 	}
 

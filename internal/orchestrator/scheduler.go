@@ -142,13 +142,20 @@ func (SpreadScheduler) Place(svc ServiceSLA, candidates []*node) ([]*node, error
 		})
 		pick := feasible[0]
 		// Spread replicas of this call across pinned machines round-robin
-		// when multiple are pinned: replica k prefers pin k mod len(pins).
+		// when multiple are pinned: replica k prefers pin k mod len(pins),
+		// and when that pin is infeasible (full, dead, filtered) falls
+		// through to the next pin in priority order, wrapping — not to
+		// feasible[0], which would stack every displaced replica on the
+		// first-ranked machine.
 		if len(r.Machines) > 1 {
-			want := r.Machines[replica%len(r.Machines)]
-			for _, n := range feasible {
-				if n.info.Name == want {
-					pick = n
-					break
+		pins:
+			for off := 0; off < len(r.Machines); off++ {
+				want := r.Machines[(replica+off)%len(r.Machines)]
+				for _, n := range feasible {
+					if n.info.Name == want {
+						pick = n
+						break pins
+					}
 				}
 			}
 		}

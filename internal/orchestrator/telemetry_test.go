@@ -79,7 +79,7 @@ func TestAPITelemetryAndMetrics(t *testing.T) {
 	status := NodeStatus{Services: []ServiceTelemetry{
 		{Service: "sift", Arrived: 100, Processed: 75, Dropped: 25, DropRatio: 0.25, QueueLen: 4, P95Micros: 50_000},
 	}}
-	if code := doJSON(t, "POST", srv.URL+"/api/v1/nodes/E1/heartbeat", status, nil); code != http.StatusNoContent {
+	if code := doJSON(t, "POST", srv.URL+"/api/v1/nodes/E1/heartbeat", status, nil); code != http.StatusOK {
 		t.Fatalf("heartbeat with services: %d", code)
 	}
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/edge-mar/scatter/internal/obs"
 	"github.com/edge-mar/scatter/internal/obs/routestats"
 )
 
@@ -83,6 +84,11 @@ type ServiceTelemetry struct {
 	DropRatio float64 `json:"drop_ratio"`
 	QueueLen  int64   `json:"queue_len"`
 	P95Micros uint64  `json:"p95_us"`
+	P99Micros uint64  `json:"p99_us,omitempty"`
+	// AdmissionDrops counts ingress frames refused by admission control —
+	// reported separately from Dropped so the distress drop ratio
+	// reflects the service's health, not the controller's own refusals.
+	AdmissionDrops uint64 `json:"admission_drops,omitempty"`
 	// Replicas is the per-replica breakdown merged from the forwarder
 	// windows every live node reported (AppTelemetry fills it; heartbeats
 	// carry the raw windows in NodeStatus.Routes instead).
@@ -108,6 +114,49 @@ type ReplicaTelemetry struct {
 	// Observers is how many live nodes reported a window for this
 	// replica (set by the root's merge, zero in raw heartbeats).
 	Observers int `json:"observers,omitempty"`
+}
+
+// ServiceAdmission is one service's admission verdict as carried on a
+// heartbeat response — the control plane's downlink to the sidecars.
+type ServiceAdmission struct {
+	Service string `json:"service"`
+	// State is the wire form of core.AdmitState: "admit", "degrade",
+	// "reject". Unknown strings must be treated as "admit".
+	State  string `json:"state"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// HeartbeatResponse is the orchestrator's reply to a heartbeat: the
+// current admission verdicts for every service under admission control.
+// Services absent from the list are admitted — a node applies the list
+// and resets everything else to admit, so a controller restart can never
+// wedge a service shut.
+type HeartbeatResponse struct {
+	Admissions []ServiceAdmission `json:"admissions,omitempty"`
+}
+
+// TelemetryFromDigests converts a node registry's live service digests
+// into the heartbeat representation — what a node agent puts in
+// NodeStatus.Services.
+func TelemetryFromDigests(ds []obs.ServiceDigest) []ServiceTelemetry {
+	if len(ds) == 0 {
+		return nil
+	}
+	out := make([]ServiceTelemetry, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, ServiceTelemetry{
+			Service:        d.Service,
+			Arrived:        d.Arrived,
+			Processed:      d.Processed,
+			Dropped:        d.Dropped,
+			DropRatio:      d.DropRatio,
+			QueueLen:       d.QueueLen,
+			P95Micros:      d.P95Micros,
+			P99Micros:      d.P99Micros,
+			AdmissionDrops: d.AdmissionDrops,
+		})
+	}
+	return out
 }
 
 // RouteTelemetry converts a router's route-window digest into the

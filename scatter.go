@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"github.com/edge-mar/scatter/internal/agent"
+	"github.com/edge-mar/scatter/internal/appaware"
 	"github.com/edge-mar/scatter/internal/core"
 	"github.com/edge-mar/scatter/internal/experiments"
 	"github.com/edge-mar/scatter/internal/metrics"
@@ -396,6 +397,72 @@ func NewAPIServer(root *Orchestrator) *APIServer { return orchestrator.NewAPISer
 // NodeStatusAt builds an otherwise-empty telemetry report stamped at t —
 // a heartbeat.
 func NodeStatusAt(t time.Time) NodeStatus { return NodeStatus{LastHeartbeat: t} }
+
+// Live app-aware autoscaling and admission control (the closed §6 loop).
+type (
+	// Autoscaler is the orchestrator-side control loop: each period it
+	// windows the merged heartbeat telemetry into a policy signal, scales
+	// distressed services through the scheduler, and escalates to
+	// admission control when scale-out is capped or unschedulable.
+	Autoscaler = orchestrator.Autoscaler
+	// AutoscalerConfig parameterizes the control loop.
+	AutoscalerConfig = orchestrator.AutoscalerConfig
+	// AutoscaleEvent is one applied control action.
+	AutoscaleEvent = orchestrator.AutoscaleEvent
+	// AutoscaleDigest is the loop's status snapshot, served at
+	// /api/v1/autoscaler and as scatter_autoscale_* on /metrics.
+	AutoscaleDigest = obs.AutoscaleDigest
+	// AdmissionDigest is a node's live sidecar-admission snapshot
+	// (scatter_admission_* series).
+	AdmissionDigest = obs.AdmissionDigest
+	// ServiceAdmission is one service's admission verdict as carried on
+	// heartbeat responses.
+	ServiceAdmission = orchestrator.ServiceAdmission
+	// HeartbeatResponse is the control plane's downlink: the verdicts a
+	// node must enforce (absent services are admitted).
+	HeartbeatResponse = orchestrator.HeartbeatResponse
+	// AdmitState is a sidecar-ingress admission verdict.
+	AdmitState = core.AdmitState
+	// AppPolicy decides scaling from a windowed application signal.
+	AppPolicy = appaware.Policy
+	// HardwarePolicy scales on machine utilization thresholds alone —
+	// the baseline the paper critiques.
+	HardwarePolicy = appaware.HardwarePolicy
+	// QoSPolicy scales on windowed per-service drop ratios and p95
+	// service latency — the app-aware policy.
+	QoSPolicy = appaware.QoSPolicy
+	// AdmissionPolicy tunes the degrade/reject/recover hysteresis.
+	AdmissionPolicy = appaware.AdmissionPolicy
+	// AppSignal is the windowed per-period control signal policies see.
+	AppSignal = appaware.Signal
+)
+
+// Admission verdicts, ordered by severity.
+const (
+	AdmitOK      = core.AdmitOK
+	AdmitDegrade = core.AdmitDegrade
+	AdmitReject  = core.AdmitReject
+)
+
+// DegradeStride is the ingress decimation under AdmitDegrade: one frame
+// in DegradeStride is admitted, by frame number.
+const DegradeStride = core.DegradeStride
+
+// NewAutoscaler wires the live control loop over a root orchestrator;
+// start it with Run or drive it directly with Tick.
+func NewAutoscaler(root *Orchestrator, cfg AutoscalerConfig) *Autoscaler {
+	return orchestrator.NewAutoscaler(root, cfg)
+}
+
+// WindowDelta converts a cumulative counter pair into one window's
+// activity, saturating on counter resets.
+func WindowDelta(cur, last uint64) uint64 { return appaware.WindowDelta(cur, last) }
+
+// TelemetryFromDigests converts a node registry's live service digests
+// into the heartbeat representation.
+func TelemetryFromDigests(ds []ServiceDigest) []ServiceTelemetry {
+	return orchestrator.TelemetryFromDigests(ds)
+}
 
 // Simulated testbed and experiments.
 type (
