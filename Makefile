@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-vision bench-dataplane bench-batching bench-routing bench-fastpath bench-autoscale fuzz figures examples chaos clean
+.PHONY: all build vet test race cover bench bench-vision bench-dataplane bench-batching bench-routing bench-fastpath bench-autoscale bench-sharding fuzz figures examples chaos clean
 
 all: build test
 
@@ -19,8 +19,9 @@ vet:
 # compiling and running without paying full measurement time.
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/core ./internal/obs/... ./internal/agent ./internal/transport ./internal/netem ./internal/vision/... ./internal/appaware ./internal/orchestrator
+	$(GO) test -race ./internal/core ./internal/obs/... ./internal/agent ./internal/transport ./internal/netem ./internal/vision/... ./internal/appaware ./internal/orchestrator ./internal/wire
 	$(GO) test -run '^$$' -bench 'WorkerHop|DataplaneEncode' -benchtime=1x ./internal/agent
+	$(GO) test -run '^$$' -bench 'Sharding' -benchtime=1x ./internal/vision/lsh
 
 race:
 	$(GO) test -race ./...
@@ -81,6 +82,17 @@ bench-fastpath:
 bench-autoscale:
 	$(GO) test -run '^$$' -bench 'AutoscalePolicy' -benchtime=1x ./internal/appaware \
 		| $(GO) run ./cmd/benchjson -o BENCH_autoscale.json -note "make bench-autoscale"
+
+# Sharded-database headline: per-replica query cost monolithic vs one
+# shard replica of a 4/8-way split at 10k/100k reference objects
+# (BenchmarkShardingReplica — the O(N) → O(N/S) saving each matching
+# node pays), plus the full scatter/gather path and the quickselect
+# top-k kernel vs full sort, exported to BENCH_sharding.json. The
+# bit-identity and allocation budgets are enforced as plain tests in
+# `make test`; this target records the throughput trajectory.
+bench-sharding:
+	$(GO) test -run '^$$' -bench 'Sharding' -benchmem ./internal/vision/lsh \
+		| $(GO) run ./cmd/benchjson -o BENCH_sharding.json -note "make bench-sharding"
 
 # Smoke-runs every vision kernel benchmark once at 1, 4, and 8 cores.
 # Worker pools size themselves from GOMAXPROCS, so each -cpu row measures

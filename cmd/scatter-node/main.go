@@ -27,6 +27,7 @@
 //	  "route_stats": {"enabled": true, "ack_timeout_ms": 250},
 //	  "fast_path": {"enabled": true, "refresh_every": 30, "min_confidence": 0.5},
 //	  "recognition_cache": {"enabled": true, "ttl_ms": 500, "capacity": 1024},
+//	  "sharding": {"enabled": true, "shards": 4, "replication": 1},
 //	  "fault": {"packet_loss": 0.01, "delay_ms": 5, "seed": 42}
 //	}
 //
@@ -43,7 +44,11 @@
 // frames answered at primary from matching's published verdicts, skipping
 // sift→matching; scatter_fastpath_* series on the obs endpoints);
 // recognition_cache shares LSH candidate lists across clients keyed by
-// the query's LSH sketch; fault
+// the query's LSH sketch; sharding partitions the lsh reference database
+// across shard replicas with scatter/gather top-k merge — bit-identical
+// results, O(N/shards) per-replica query cost (scatter_shard_* series on
+// the obs endpoints; see shardingSpec for serving and remote-gather
+// deployments); fault
 // (all fields optional) injects drops, compounding per-fragment loss,
 // delay, jitter, and duplication on this node's outbound traffic for
 // chaos experiments.
@@ -72,6 +77,7 @@ import (
 	"github.com/edge-mar/scatter/internal/orchestrator"
 	"github.com/edge-mar/scatter/internal/trace"
 	"github.com/edge-mar/scatter/internal/transport"
+	"github.com/edge-mar/scatter/internal/vision/lsh"
 	"github.com/edge-mar/scatter/internal/wire"
 )
 
@@ -129,6 +135,33 @@ type recognitionCacheSpec struct {
 	Enabled  bool `json:"enabled"`
 	TTLMs    int  `json:"ttl_ms,omitempty"`
 	Capacity int  `json:"capacity,omitempty"`
+}
+
+// shardServeSpec exposes one of this node's database partitions to
+// remote gather clients on its own listen address.
+type shardServeSpec struct {
+	Shard  int    `json:"shard"`
+	Listen string `json:"listen"`
+}
+
+// shardingSpec partitions the lsh reference database. With enabled=true
+// alone, the node's lsh service queries an in-process sharded index
+// (scatter/gather across partitions of the trained model, bit-identical
+// to the monolithic index). serve additionally publishes partitions to
+// the network for remote gathers; gather makes the lsh service scatter
+// to a remote shard fleet instead of its local partitions (outer index
+// = shard number, inner = replica addresses). Either way the
+// recognition cache keys gain a layout prefix so entries can never
+// alias across shard layouts, and scatter_shard_* series appear on the
+// obs endpoints.
+type shardingSpec struct {
+	Enabled         bool             `json:"enabled"`
+	Shards          int              `json:"shards,omitempty"`      // default 4
+	Replication     int              `json:"replication,omitempty"` // default 1
+	Serve           []shardServeSpec `json:"serve,omitempty"`
+	Gather          [][]string       `json:"gather,omitempty"`
+	GatherTimeoutMs int              `json:"gather_timeout_ms,omitempty"`
+	Quorum          int              `json:"quorum,omitempty"` // default: all shards
 }
 
 // routeStatsSpec arms stats-driven routing. Zero fields take the
@@ -207,6 +240,9 @@ type nodeConfig struct {
 	// RecognitionCache, when enabled, shares LSH candidate lists across
 	// clients keyed by the query's LSH sketch.
 	RecognitionCache *recognitionCacheSpec `json:"recognition_cache,omitempty"`
+	// Sharding partitions the lsh reference database across shard
+	// replicas with scatter/gather top-k merge (see shardingSpec).
+	Sharding *shardingSpec `json:"sharding,omitempty"`
 }
 
 // admissionEnforcer applies the control plane's per-service verdicts to
@@ -323,6 +359,61 @@ func main() {
 			"ack_timeout", statsRouter.AckTimeout())
 	}
 
+	// Optional database sharding: the lsh service queries partitions of
+	// the trained reference index instead of the monolith — in-process by
+	// default, a remote shard fleet when gather addresses are configured.
+	// Results stay bit-identical to the monolithic index (same seed, same
+	// hyperplanes; the gather merges per-shard top-k under a total order).
+	var lshIndex core.NNIndex = model.Index
+	var sharded *lsh.ShardedIndex
+	var shardGather *agent.ShardGather
+	var shardServers []*agent.ShardServer
+	if cfg.Sharding != nil && cfg.Sharding.Enabled {
+		sharded = lsh.NewShardedFrom(model.Index, lsh.ShardConfig{
+			Shards:      cfg.Sharding.Shards,
+			Replication: cfg.Sharding.Replication,
+		})
+		lshIndex = sharded
+		for _, sv := range cfg.Sharding.Serve {
+			if sv.Shard < 0 || sv.Shard >= sharded.Shards() {
+				log.Error("shard serve out of range", "shard", sv.Shard, "shards", sharded.Shards())
+				os.Exit(2)
+			}
+			srv, err := agent.StartShardServer(agent.ShardServerConfig{
+				Index:      sharded.Replica(sv.Shard, 0),
+				Shard:      sv.Shard,
+				ListenAddr: sv.Listen,
+				Network:    cfg.Network,
+			})
+			if err != nil {
+				log.Error("start shard server", "shard", sv.Shard, "err", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			shardServers = append(shardServers, srv)
+			log.Info("shard server up", "shard", sv.Shard, "addr", srv.Addr())
+		}
+		if len(cfg.Sharding.Gather) > 0 {
+			g, err := agent.NewShardGather(agent.ShardGatherConfig{
+				Shards:        cfg.Sharding.Gather,
+				Index:         model.Index.Config(),
+				Network:       cfg.Network,
+				GatherTimeout: time.Duration(cfg.Sharding.GatherTimeoutMs) * time.Millisecond,
+				Quorum:        cfg.Sharding.Quorum,
+			})
+			if err != nil {
+				log.Error("shard gather", "err", err)
+				os.Exit(1)
+			}
+			defer g.Close()
+			shardGather = g
+			lshIndex = g
+		}
+		log.Info("sharding armed", "shards", sharded.Shards(),
+			"replication", sharded.Replication(),
+			"serving", len(shardServers), "remote_gather", shardGather != nil)
+	}
+
 	// Optional tracker-gated fast path + shared recognition cache: the
 	// gate is shared by the primary (reader) and matching (writer) workers
 	// on this node; the cache sits behind the lsh worker.
@@ -344,7 +435,7 @@ func main() {
 		cache = core.NewRecognitionCache(core.RecognitionCacheConfig{
 			TTL:      time.Duration(cfg.RecognitionCache.TTLMs) * time.Millisecond,
 			Capacity: cfg.RecognitionCache.Capacity,
-		}, model.Index)
+		}, lshIndex)
 		log.Info("recognition cache armed",
 			"ttl_ms", cfg.RecognitionCache.TTLMs,
 			"capacity", cfg.RecognitionCache.Capacity)
@@ -395,6 +486,22 @@ func main() {
 			}
 		})
 	}
+	if sharded != nil {
+		reg.SetShardSource(func() obs.ShardDigest {
+			if shardGather != nil {
+				return shardGather.Digest()
+			}
+			// In-process sharding: every scatter completes, so fan-outs and
+			// gathers come straight off the index counters.
+			st := sharded.Stats()
+			return obs.ShardDigest{
+				Shards:      sharded.Shards(),
+				Replication: sharded.Replication(),
+				FanOuts:     st.ShardQueries,
+				Gathers:     st.Queries,
+			}
+		})
+	}
 	hostLabel := ""
 	if cfg.Node != nil {
 		hostLabel = cfg.Node.Name
@@ -419,7 +526,7 @@ func main() {
 		case wire.StepEncoding:
 			proc = core.NewEncoding(model.PCA, model.Encoder)
 		case wire.StepLSH:
-			l := core.NewLSHService(model.Index, 3)
+			l := core.NewLSHService(lshIndex, 3)
 			l.Cache = cache
 			proc = l
 		case wire.StepMatching:

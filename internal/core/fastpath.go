@@ -6,8 +6,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"github.com/edge-mar/scatter/internal/vision/lsh"
 )
 
 // FastPathConfig controls the tracker-gated recognition fast path.
@@ -251,7 +249,7 @@ type cacheEntry struct {
 // Safe for concurrent use.
 type RecognitionCache struct {
 	cfg   RecognitionCacheConfig
-	index *lsh.Index
+	index NNIndex
 	now   func() time.Time
 
 	mu      sync.Mutex
@@ -263,7 +261,7 @@ type RecognitionCache struct {
 }
 
 // NewRecognitionCache returns a cache over index's hash functions.
-func NewRecognitionCache(cfg RecognitionCacheConfig, index *lsh.Index) *RecognitionCache {
+func NewRecognitionCache(cfg RecognitionCacheConfig, index NNIndex) *RecognitionCache {
 	return &RecognitionCache{
 		cfg:     cfg.withDefaults(),
 		index:   index,
@@ -274,10 +272,17 @@ func NewRecognitionCache(cfg RecognitionCacheConfig, index *lsh.Index) *Recognit
 }
 
 // Sketch returns the cache key of a Fisher vector: the little-endian
-// concatenation of its bucket key in every LSH table.
+// concatenation of its bucket key in every LSH table. Partitioned
+// backends prefix their layout signature, so a key minted under one
+// shard layout can never alias a key minted under another (a partial
+// gather's cached verdict must not outlive a resize). Monolithic
+// backends produce the historical unprefixed key.
 func (c *RecognitionCache) Sketch(fisher []float32) string {
 	n := c.index.Tables()
-	buf := make([]byte, 0, 8*n)
+	buf := make([]byte, 0, 8*(n+1))
+	if ls, ok := c.index.(LayoutSigner); ok {
+		buf = binary.LittleEndian.AppendUint64(buf, ls.LayoutSignature())
+	}
 	for t := 0; t < n; t++ {
 		buf = binary.LittleEndian.AppendUint64(buf, c.index.Hash(t, fisher))
 	}

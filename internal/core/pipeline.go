@@ -99,6 +99,42 @@ type Options struct {
 	// sift→encoding→lsh→matching entirely. Disabled (the zero value),
 	// scheduling is bit-identical to a build without the option.
 	FastPath FastPathSimOptions
+	// Sharding mirrors the sharded reference database (lsh.ShardedIndex /
+	// agent.ShardGather) at the lsh step: per-dispatch compute drops to
+	// the per-shard share plus a gather overhead, and shard legs can miss
+	// the gather window. Disabled (the zero value), scheduling is
+	// bit-identical to a build without the option.
+	Sharding ShardingSimOptions
+}
+
+// ShardingSimOptions mirrors the scatter/gather reference-database layout
+// on the simulator's virtual clock. The sim holds no reference vectors;
+// what it models is the cost shape: each lsh dispatch pays the ranking
+// cost of one shard's partition (CPUTime/Shards — candidate counts scale
+// with partition size) plus the fan-out/merge overhead, and a shard leg
+// that misses the gather window stalls the gather for GatherTimeout.
+// Below-quorum gathers proceed with empty candidates, exactly like the
+// runtime's ShardGather returning nil to the recognition service.
+type ShardingSimOptions struct {
+	Enabled bool
+	// Shards is the hash-space partition count (default 4).
+	Shards int
+	// Replication is the replicas kept per shard — telemetry only in the
+	// sim, where replica choice has no cost asymmetry (default 1).
+	Replication int
+	// Quorum is the minimum shard responses a gather needs to deliver
+	// candidates. Zero defaults to Shards — strict bit-identity.
+	Quorum int
+	// GatherOverhead is the per-gather fan-out + k-way merge cost added
+	// on top of the per-shard compute (default 200µs).
+	GatherOverhead time.Duration
+	// GatherTimeout is how long a gather waits out missing shard legs
+	// (default 20ms).
+	GatherTimeout time.Duration
+	// ShardLossProb is the per-leg probability a shard misses the gather
+	// window (replica overload, transit loss). Drawn from the engine's
+	// deterministic RNG.
+	ShardLossProb float64
 }
 
 // FastPathSimOptions mirrors FastPathConfig on the simulator's virtual
@@ -168,6 +204,23 @@ func (o Options) withDefaults() Options {
 		}
 		if o.FastPath.GateCost <= 0 {
 			o.FastPath.GateCost = 100 * time.Microsecond
+		}
+	}
+	if o.Sharding.Enabled {
+		if o.Sharding.Shards <= 0 {
+			o.Sharding.Shards = 4
+		}
+		if o.Sharding.Replication <= 0 {
+			o.Sharding.Replication = 1
+		}
+		if o.Sharding.Quorum <= 0 || o.Sharding.Quorum > o.Sharding.Shards {
+			o.Sharding.Quorum = o.Sharding.Shards
+		}
+		if o.Sharding.GatherOverhead <= 0 {
+			o.Sharding.GatherOverhead = 200 * time.Microsecond
+		}
+		if o.Sharding.GatherTimeout <= 0 {
+			o.Sharding.GatherTimeout = 20 * time.Millisecond
 		}
 	}
 	return o
@@ -321,6 +374,18 @@ type Pipeline struct {
 	// fastTracks is the per-client warm state of the simulated fast path;
 	// nil when Options.FastPath is disabled.
 	fastTracks map[uint32]*simTrack
+
+	// shardSim counts the simulated scatter/gather activity at the lsh
+	// step (Options.Sharding). The sim engine is single-threaded, so
+	// plain fields suffice.
+	shardSim struct {
+		fanOuts     uint64
+		gathers     uint64
+		partials    uint64
+		dropped     uint64
+		belowQuorum uint64
+		waitMicros  uint64
+	}
 }
 
 // NewPipeline deploys the pipeline per the placement. It panics on
@@ -802,9 +867,81 @@ func (in *Instance) runGate(fr *simFrame, queueWait time.Duration, began sim.Tim
 	})
 }
 
+// shardedCompute maps one lsh dispatch (batchN frames; 1 = serial) onto
+// the scatter/gather cost model: per-shard compute is the monolithic
+// cost over the shard count (candidate volume scales with partition
+// size), every gather pays the fan-out/merge overhead, and a gather with
+// missing shard legs waits out the gather window. It also advances the
+// scatter/gather counters.
+func (in *Instance) shardedCompute(batchN int) time.Duration {
+	p := in.p
+	sh := p.opts.Sharding
+	perShard := in.prof.CPUTime / time.Duration(sh.Shards)
+	var cpu time.Duration
+	if batchN <= 1 {
+		cpu = in.machine.ComputeTime(perShard, false)
+	} else {
+		cpu = in.machine.ComputeTimeBatch(perShard, in.prof.CPUSetup, batchN, false)
+	}
+	cpu += sh.GatherOverhead
+	misses := 0
+	if sh.ShardLossProb > 0 {
+		for s := 0; s < sh.Shards; s++ {
+			if p.eng.Rand().Float64() < sh.ShardLossProb {
+				misses++
+			}
+		}
+	}
+	p.shardSim.fanOuts += uint64(sh.Shards)
+	if misses > 0 {
+		p.shardSim.dropped += uint64(misses)
+		cpu += sh.GatherTimeout
+		if sh.Shards-misses >= sh.Quorum {
+			p.shardSim.partials++
+			p.shardSim.gathers++
+		} else {
+			// Below quorum the gather delivers no candidates; the frame
+			// still flows, recognition just comes back empty — exactly
+			// the runtime ShardGather contract.
+			p.shardSim.belowQuorum++
+		}
+	} else {
+		p.shardSim.gathers++
+	}
+	p.shardSim.waitMicros += uint64(cpu / time.Microsecond)
+	return cpu
+}
+
+// shardedStep reports whether this dispatch goes through the simulated
+// scatter/gather path.
+func (in *Instance) shardedStep() bool {
+	return in.p.opts.Sharding.Enabled && in.step == wire.StepLSH
+}
+
+// ShardDigest snapshots the simulated scatter/gather counters in the
+// obs exposition shape; ok is false when sharding is disabled.
+func (p *Pipeline) ShardDigest() (obs.ShardDigest, bool) {
+	if !p.opts.Sharding.Enabled {
+		return obs.ShardDigest{}, false
+	}
+	return obs.ShardDigest{
+		Shards:           p.opts.Sharding.Shards,
+		Replication:      p.opts.Sharding.Replication,
+		FanOuts:          p.shardSim.fanOuts,
+		Gathers:          p.shardSim.gathers,
+		PartialGathers:   p.shardSim.partials,
+		DroppedShards:    p.shardSim.dropped,
+		BelowQuorum:      p.shardSim.belowQuorum,
+		GatherWaitMicros: p.shardSim.waitMicros,
+	}, true
+}
+
 func (in *Instance) runPhases(fr *simFrame, queueWait time.Duration, began sim.Time) {
 	p := in.p
 	cpu := in.machine.ComputeTime(in.prof.CPUTime, false)
+	if in.shardedStep() {
+		cpu = in.shardedCompute(1)
+	}
 	if p.opts.Mode == ModeScatterPP {
 		cpu += p.opts.SidecarOverhead
 	}
@@ -844,6 +981,9 @@ func (in *Instance) startBatch(n int) {
 	in.busy = true
 	began := p.eng.Now()
 	cpu := in.machine.ComputeTimeBatch(in.prof.CPUTime, in.prof.CPUSetup, n, false)
+	if in.shardedStep() {
+		cpu = in.shardedCompute(n)
+	}
 	if p.opts.Mode == ModeScatterPP {
 		cpu += p.opts.SidecarOverhead
 	}

@@ -412,7 +412,7 @@ func (s *Encoding) encodeFeatures(f *Features) []float32 {
 
 // LSHService implements nearest-neighbour lookup over reference images.
 type LSHService struct {
-	index *lsh.Index
+	index NNIndex
 	// K is how many candidates to forward (default 3).
 	K int
 	// Cache, when non-nil, short-circuits index queries through the
@@ -423,8 +423,10 @@ type LSHService struct {
 	Cache *RecognitionCache
 }
 
-// NewLSHService wraps a populated index.
-func NewLSHService(index *lsh.Index, k int) *LSHService {
+// NewLSHService wraps a populated index backend — a monolithic
+// *lsh.Index, an in-process *lsh.ShardedIndex, or a remote shard-gather
+// client.
+func NewLSHService(index NNIndex, k int) *LSHService {
 	if index == nil {
 		panic("core: NewLSHService with nil index")
 	}

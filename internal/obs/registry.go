@@ -216,6 +216,9 @@ type Registry struct {
 	// (SetAdmissionSource); nil-fn until an admission enforcement point
 	// is wired in.
 	admissionSrc atomic.Value
+	// shardSrc holds the installed shardSource (SetShardSource); nil-fn
+	// until a sharded reference database is wired in.
+	shardSrc atomic.Value
 }
 
 // NewRegistry returns an empty registry anchored at now.

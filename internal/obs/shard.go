@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// ShardDigest is the live snapshot of the sharded reference database's
+// scatter/gather path on one node: layout shape, fan-out legs issued,
+// gathers completed (full and partial), shard responses dropped for
+// missing the gather window, gathers abandoned below quorum, and the
+// cumulative time spent waiting on gathers.
+type ShardDigest struct {
+	Shards           int    `json:"shards"`
+	Replication      int    `json:"replication"`
+	FanOuts          uint64 `json:"fan_outs"`
+	Gathers          uint64 `json:"gathers"`
+	PartialGathers   uint64 `json:"partial_gathers"`
+	DroppedShards    uint64 `json:"dropped_shards"`
+	BelowQuorum      uint64 `json:"below_quorum"`
+	GatherWaitMicros uint64 `json:"gather_wait_us"`
+}
+
+// SetShardSource installs the snapshot function the registry exposes as
+// scatter_shard_* series and in /metrics.json. Called on every scrape;
+// it should be cheap (counter loads). A nil source removes the
+// exposition.
+func (r *Registry) SetShardSource(fn func() ShardDigest) {
+	r.shardSrc.Store(shardSource{fn})
+}
+
+// shardSource wraps the snapshot func so atomic.Value always stores one
+// concrete type.
+type shardSource struct {
+	fn func() ShardDigest
+}
+
+// ShardDigest snapshots the installed shard source; ok is false when no
+// scatter/gather path is publishing.
+func (r *Registry) ShardDigest() (ShardDigest, bool) {
+	src, ok := r.shardSrc.Load().(shardSource)
+	if !ok || src.fn == nil {
+		return ShardDigest{}, false
+	}
+	return src.fn(), true
+}
+
+// writeTextShard renders the scatter/gather snapshot as Prometheus text
+// lines.
+func writeTextShard(w io.Writer, d ShardDigest) {
+	fmt.Fprintf(w, "# TYPE scatter_shard_count gauge\n")
+	fmt.Fprintf(w, "scatter_shard_count %d\n", d.Shards)
+	fmt.Fprintf(w, "# TYPE scatter_shard_replication gauge\n")
+	fmt.Fprintf(w, "scatter_shard_replication %d\n", d.Replication)
+	fmt.Fprintf(w, "# TYPE scatter_shard_fanout_total counter\n")
+	fmt.Fprintf(w, "scatter_shard_fanout_total %d\n", d.FanOuts)
+	fmt.Fprintf(w, "# TYPE scatter_shard_gathers_total counter\n")
+	fmt.Fprintf(w, "scatter_shard_gathers_total %d\n", d.Gathers)
+	fmt.Fprintf(w, "# TYPE scatter_shard_partial_gathers_total counter\n")
+	fmt.Fprintf(w, "scatter_shard_partial_gathers_total %d\n", d.PartialGathers)
+	fmt.Fprintf(w, "# TYPE scatter_shard_dropped_total counter\n")
+	fmt.Fprintf(w, "scatter_shard_dropped_total %d\n", d.DroppedShards)
+	fmt.Fprintf(w, "# TYPE scatter_shard_below_quorum_total counter\n")
+	fmt.Fprintf(w, "scatter_shard_below_quorum_total %d\n", d.BelowQuorum)
+	fmt.Fprintf(w, "# TYPE scatter_shard_gather_wait_seconds_total counter\n")
+	fmt.Fprintf(w, "scatter_shard_gather_wait_seconds_total %g\n", float64(d.GatherWaitMicros)/1e6)
+}

@@ -191,6 +191,7 @@ func (r *Root) Deploy(sla SLA) (*Deployment, error) {
 				App:     sla.AppName,
 				Service: svc.Name,
 				Replica: replica,
+				Shard:   svc.ShardOf(replica),
 				Node:    n.info.Name,
 				State:   StateRunning,
 			}

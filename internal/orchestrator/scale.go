@@ -56,6 +56,7 @@ func (r *Root) ScaleUp(app, service string) (Instance, error) {
 		App:     app,
 		Service: service,
 		Replica: next,
+		Shard:   svc.ShardOf(next),
 		Node:    n.info.Name,
 		State:   StateRunning,
 	}

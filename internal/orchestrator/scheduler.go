@@ -103,7 +103,12 @@ func (SpreadScheduler) Place(svc ServiceSLA, candidates []*node) ([]*node, error
 	// memory feasibility accounts for them — candidates stay unmutated.
 	extra := make(map[*node]int)
 	extraMem := make(map[*node]int64)
+	// For sharded services, additionally track which shards each node
+	// already hosts this call: co-locating two replicas of the same shard
+	// wastes the replication (one node failure still kills the shard).
+	sameShard := make(map[*node]map[int]int)
 	for replica := 0; replica < svc.Replicas; replica++ {
+		shard := svc.ShardOf(replica)
 		var feasible []*node
 		for _, n := range candidates {
 			if n.feasible(r, extraMem[n]) {
@@ -127,6 +132,14 @@ func (SpreadScheduler) Place(svc ServiceSLA, candidates []*node) ([]*node, error
 			// machines in priority order.
 			if pa, pb := pinRank(a), pinRank(b); pa != pb {
 				return pa < pb
+			}
+			// Shard anti-affinity dominates general spreading: a replica
+			// prefers any node not yet hosting its shard.
+			if svc.Shards > 1 {
+				as, bs := sameShard[a][shard], sameShard[b][shard]
+				if as != bs {
+					return as < bs
+				}
 			}
 			ai := a.instances + extra[a]
 			bi := b.instances + extra[b]
@@ -161,6 +174,12 @@ func (SpreadScheduler) Place(svc ServiceSLA, candidates []*node) ([]*node, error
 		}
 		extraMem[pick] += r.MemBytes
 		extra[pick]++
+		if svc.Shards > 1 {
+			if sameShard[pick] == nil {
+				sameShard[pick] = make(map[int]int)
+			}
+			sameShard[pick][shard]++
+		}
 		out = append(out, pick)
 	}
 	return out, nil

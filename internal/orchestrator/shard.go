@@ -1,0 +1,106 @@
+package orchestrator
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ShardHealth is the control plane's coverage view of one database
+// partition: how many replicas the deployment holds for the shard and
+// how many are currently serving (running state on a live node). A
+// shard with Live == 0 is uncovered — every gather touching it runs
+// below strict quorum, so bit-identity with the monolithic index is
+// lost until the shard is re-covered.
+type ShardHealth struct {
+	Shard    int `json:"shard"`
+	Replicas int `json:"replicas"`
+	Live     int `json:"live"`
+}
+
+// ShardHealth reports per-shard replica coverage for one microservice
+// of a deployed app, indexed by shard number. Unsharded services return
+// a single entry for shard 0 — the degenerate one-partition view.
+func (r *Root) ShardHealth(app, service string) ([]ShardHealth, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	state, ok := r.deployed[app]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownApp, app)
+	}
+	shards := 1
+	found := false
+	for _, ms := range state.sla.Microservices {
+		if ms.Name == service {
+			if ms.Shards > 1 {
+				shards = ms.Shards
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %s/%s", ErrUnknownService, app, service)
+	}
+	out := make([]ShardHealth, shards)
+	for s := range out {
+		out[s].Shard = s
+	}
+	for _, inst := range state.instances {
+		if inst.Service != service || inst.Shard >= shards {
+			continue
+		}
+		h := &out[inst.Shard]
+		h.Replicas++
+		if inst.State != StateRunning {
+			continue
+		}
+		if n, ok := r.nodes[inst.Node]; ok && n.alive {
+			h.Live++
+		}
+	}
+	return out, nil
+}
+
+// UncoveredShards returns the shard numbers of a service that currently
+// have no live replica — the set a gather client cannot reach and an
+// autoscaler must re-cover first.
+func (r *Root) UncoveredShards(app, service string) ([]int, error) {
+	health, err := r.ShardHealth(app, service)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, h := range health {
+		if h.Live == 0 {
+			out = append(out, h.Shard)
+		}
+	}
+	return out, nil
+}
+
+// ShardInstances groups the deployed replicas of one microservice by
+// shard: the outer slice is indexed by shard number, each group ordered
+// by replica index. This is exactly the [][]addr layout a gather client
+// consumes. Unsharded services collapse into one group.
+func (d *Deployment) ShardInstances(service string) [][]Instance {
+	maxShard := 0
+	var insts []Instance
+	for _, in := range d.Instances {
+		if in.Service != service {
+			continue
+		}
+		insts = append(insts, in)
+		if in.Shard > maxShard {
+			maxShard = in.Shard
+		}
+	}
+	if len(insts) == 0 {
+		return nil
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i].Replica < insts[j].Replica })
+	out := make([][]Instance, maxShard+1)
+	for _, in := range insts {
+		out[in.Shard] = append(out[in.Shard], in)
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package orchestrator
+
+import (
+	"testing"
+	"time"
+)
+
+func fourNodeRoot(t *testing.T) *Root {
+	t.Helper()
+	r := NewRoot()
+	for _, name := range []string{"n0", "n1", "n2", "n3"} {
+		err := r.RegisterNode(NodeInfo{
+			Name: name, Cluster: "edge", CPUCores: 8, MemBytes: 32 << 30,
+		}, time.Unix(0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func shardedSLA(replicas, shards, replication int) SLA {
+	return SLA{AppName: "shards", Microservices: []ServiceSLA{{
+		Name: "lsh", Image: "scatter/lsh", Replicas: replicas,
+		Shards: shards, ShardReplication: replication,
+		Requirements: Requirements{MemBytes: 1 << 30},
+	}}}
+}
+
+func TestShardedSLAValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		sla  SLA
+		ok   bool
+	}{
+		{"unsharded", shardedSLA(2, 0, 0), true},
+		{"even", shardedSLA(8, 4, 2), true},
+		{"replication inferred", shardedSLA(8, 4, 0), true},
+		{"negative shards", shardedSLA(4, -1, 0), false},
+		{"negative replication", shardedSLA(4, 2, -1), false},
+		{"replication without shards", shardedSLA(4, 0, 2), false},
+		{"uncovered shards", shardedSLA(3, 4, 0), false},
+		{"uneven split", shardedSLA(6, 4, 0), false},
+		{"replication mismatch", shardedSLA(8, 4, 3), false},
+	}
+	for _, c := range cases {
+		if err := c.sla.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+// TestDeployAssignsShards pins the replica→shard map (replica mod
+// shards) and the anti-affinity property: no node hosts two replicas of
+// the same shard while a shard-free node exists.
+func TestDeployAssignsShards(t *testing.T) {
+	r := fourNodeRoot(t)
+	d, err := r.Deploy(shardedSLA(8, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosting := make(map[string]map[int]int) // node -> shard -> replicas
+	for _, in := range d.InstancesOf("lsh") {
+		if in.Shard != in.Replica%4 {
+			t.Errorf("replica %d assigned shard %d, want %d", in.Replica, in.Shard, in.Replica%4)
+		}
+		if hosting[in.Node] == nil {
+			hosting[in.Node] = make(map[int]int)
+		}
+		hosting[in.Node][in.Shard]++
+	}
+	// 8 replicas over 4 nodes: every node hosts 2, and with shard
+	// anti-affinity the two must differ (same-shard co-location wastes
+	// the replication).
+	for node, shards := range hosting {
+		for shard, n := range shards {
+			if n > 1 {
+				t.Errorf("node %s hosts %d replicas of shard %d", node, n, shard)
+			}
+		}
+	}
+	groups := d.ShardInstances("lsh")
+	if len(groups) != 4 {
+		t.Fatalf("ShardInstances groups = %d, want 4", len(groups))
+	}
+	for s, g := range groups {
+		if len(g) != 2 {
+			t.Errorf("shard %d has %d replicas, want 2", s, len(g))
+		}
+		for _, in := range g {
+			if in.Shard != s {
+				t.Errorf("shard group %d contains instance of shard %d", s, in.Shard)
+			}
+		}
+	}
+}
+
+func TestScaleUpRotatesShards(t *testing.T) {
+	r := fourNodeRoot(t)
+	if _, err := r.Deploy(shardedSLA(4, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// The next replica index is 4 → shard 0: scale-out thickens shards
+	// in rotation, never leaving a hole.
+	inst, err := r.ScaleUp("shards", "lsh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Replica != 4 || inst.Shard != 0 {
+		t.Fatalf("scaled-up instance %+v, want replica 4 shard 0", inst)
+	}
+}
+
+func TestShardHealthTracksNodeDeath(t *testing.T) {
+	r := fourNodeRoot(t)
+	r.heartbeatTimeout = time.Second
+	d, err := r.Deploy(shardedSLA(4, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	health, err := r.ShardHealth("shards", "lsh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(health) != 4 {
+		t.Fatalf("health entries = %d, want 4", len(health))
+	}
+	for _, h := range health {
+		if h.Replicas != 1 || h.Live != 1 {
+			t.Fatalf("healthy deployment reports %+v", h)
+		}
+	}
+	if un, _ := r.UncoveredShards("shards", "lsh"); len(un) != 0 {
+		t.Fatalf("healthy deployment has uncovered shards %v", un)
+	}
+
+	// Let shard 2's node miss its heartbeat: failure detection must
+	// migrate the replica with its shard identity intact, restoring
+	// coverage.
+	var victim Instance
+	for _, in := range d.InstancesOf("lsh") {
+		if in.Shard == 2 {
+			victim = in
+		}
+	}
+	now := time.Unix(10, 0)
+	for _, n := range []string{"n0", "n1", "n2", "n3"} {
+		if n == victim.Node {
+			continue
+		}
+		if err := r.Heartbeat(n, NodeStatus{LastHeartbeat: now}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	migrated := r.DetectFailures(now.Add(500 * time.Millisecond))
+	// The dead node's replica migrates to a live node and keeps its
+	// shard: coverage is restored, identity preserved.
+	if len(migrated) != 1 || migrated[0].Shard != victim.Shard {
+		t.Fatalf("migration lost shard identity: %+v (victim %+v)", migrated, victim)
+	}
+	if migrated[0].Node == victim.Node {
+		t.Fatalf("migrated replica still on dead node %s", victim.Node)
+	}
+	health, err = r.ShardHealth("shards", "lsh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health[victim.Shard].Live != 1 {
+		t.Fatalf("migrated shard %d not live: %+v", victim.Shard, health)
+	}
+}
+
+func TestShardHealthUncovered(t *testing.T) {
+	// One node only: all four shard replicas land on it; when it dies
+	// there is nowhere to migrate, so every shard reads uncovered.
+	r := NewRoot()
+	if err := r.RegisterNode(NodeInfo{Name: "solo", Cluster: "edge", CPUCores: 8, MemBytes: 32 << 30}, time.Unix(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Deploy(shardedSLA(4, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	r.DetectFailures(time.Unix(100, 0))
+	un, err := r.UncoveredShards("shards", "lsh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(un) != 4 {
+		t.Fatalf("uncovered shards = %v, want all 4", un)
+	}
+}

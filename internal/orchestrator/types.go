@@ -200,10 +200,27 @@ type Requirements struct {
 
 // ServiceSLA describes one microservice in an application SLA.
 type ServiceSLA struct {
-	Name         string       `json:"microservice_name"`
-	Image        string       `json:"image"`
-	Replicas     int          `json:"replicas"`
-	Requirements Requirements `json:"requirements"`
+	Name     string `json:"microservice_name"`
+	Image    string `json:"image"`
+	Replicas int    `json:"replicas"`
+	// Shards partitions the service's reference database by hash space:
+	// replica r serves shard r mod Shards, so consecutive replica
+	// indices rotate across shards and scaling up thickens shards in
+	// round-robin order. Zero or one means unsharded.
+	Shards int `json:"shards,omitempty"`
+	// ShardReplication, when set, demands exactly that many replicas per
+	// shard: Replicas must equal Shards*ShardReplication.
+	ShardReplication int          `json:"shard_replication,omitempty"`
+	Requirements     Requirements `json:"requirements"`
+}
+
+// ShardOf maps a replica index to the shard it serves (always 0 for
+// unsharded services).
+func (s ServiceSLA) ShardOf(replica int) int {
+	if s.Shards <= 1 {
+		return 0
+	}
+	return replica % s.Shards
 }
 
 // Validate reports SLA errors.
@@ -216,6 +233,30 @@ func (s ServiceSLA) Validate() error {
 	}
 	if s.Requirements.MemBytes < 0 {
 		return fmt.Errorf("orchestrator: microservice %q has negative memory demand", s.Name)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("orchestrator: microservice %q has %d shards", s.Name, s.Shards)
+	}
+	if s.ShardReplication < 0 {
+		return fmt.Errorf("orchestrator: microservice %q has negative shard replication", s.Name)
+	}
+	if s.ShardReplication > 0 && s.Shards == 0 {
+		return fmt.Errorf("orchestrator: microservice %q sets shard replication without shards", s.Name)
+	}
+	if s.Shards > 1 {
+		// Every shard must be covered, or gathers can never reach quorum.
+		if s.Replicas < s.Shards {
+			return fmt.Errorf("orchestrator: microservice %q has %d replicas for %d shards (shards would be uncovered)",
+				s.Name, s.Replicas, s.Shards)
+		}
+		if s.Replicas%s.Shards != 0 {
+			return fmt.Errorf("orchestrator: microservice %q: %d replicas do not divide evenly over %d shards",
+				s.Name, s.Replicas, s.Shards)
+		}
+		if s.ShardReplication > 0 && s.Replicas != s.Shards*s.ShardReplication {
+			return fmt.Errorf("orchestrator: microservice %q: %d replicas != %d shards x %d replication",
+				s.Name, s.Replicas, s.Shards, s.ShardReplication)
+		}
 	}
 	return nil
 }
@@ -271,11 +312,14 @@ const (
 
 // Instance is one scheduled replica of a microservice.
 type Instance struct {
-	App     string        `json:"app"`
-	Service string        `json:"service"`
-	Replica int           `json:"replica"`
-	Node    string        `json:"node"`
-	State   InstanceState `json:"state"`
+	App     string `json:"app"`
+	Service string `json:"service"`
+	Replica int    `json:"replica"`
+	// Shard is the database partition this replica serves — meaningful
+	// only when the owning SLA declares Shards > 1 (otherwise 0).
+	Shard int           `json:"shard,omitempty"`
+	Node  string        `json:"node"`
+	State InstanceState `json:"state"`
 }
 
 // Key uniquely identifies the instance slot.

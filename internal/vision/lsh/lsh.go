@@ -111,6 +111,14 @@ func tableSeed(seed int64, table int) int64 {
 // Tables returns the number of hash tables (after defaulting).
 func (ix *Index) Tables() int { return ix.cfg.Tables }
 
+// Dim returns the configured vector dimensionality.
+func (ix *Index) Dim() int { return ix.cfg.Dim }
+
+// Config returns the index's effective configuration (after
+// defaulting). Two indexes built from equal configs draw identical
+// hyperplanes — the property sharding relies on for bit-identity.
+func (ix *Index) Config() Config { return ix.cfg }
+
 // Len returns the number of stored items.
 func (ix *Index) Len() int {
 	ix.mu.RLock()
@@ -240,20 +248,92 @@ func (ix *Index) rankLocked(v []float32, neighbors []Neighbor) {
 	})
 }
 
-// sortAndTrim orders neighbors by (distance, id) — a total order, so the
-// result is deterministic regardless of candidate collection order — and
-// truncates to k.
+// neighborLess is the (distance, id) comparator used everywhere results
+// are ranked. Distinct IDs make it a strict total order, so any ranking
+// built on it is deterministic regardless of candidate collection order.
+func neighborLess(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// sortAndTrim orders neighbors by (distance, id) and truncates to k.
+// When the candidate set is larger than k it first quickselect-partitions
+// the k smallest to the front — O(n) expected instead of O(n log n) —
+// and sorts only that prefix. The comparator is a total order, so the set
+// of k smallest and its sorted order are both unique: the output is
+// identical to a full sort followed by truncation.
 func sortAndTrim(neighbors []Neighbor, k int) []Neighbor {
-	sort.Slice(neighbors, func(i, j int) bool {
-		if neighbors[i].Dist != neighbors[j].Dist {
-			return neighbors[i].Dist < neighbors[j].Dist
-		}
-		return neighbors[i].ID < neighbors[j].ID
-	})
+	if k <= 0 {
+		return neighbors[:0]
+	}
 	if len(neighbors) > k {
+		selectK(neighbors, k)
 		neighbors = neighbors[:k]
 	}
+	sort.Slice(neighbors, func(i, j int) bool {
+		return neighborLess(neighbors[i], neighbors[j])
+	})
 	return neighbors
+}
+
+// selectCutoff is the range width below which selectK switches from
+// partitioning to insertion sort.
+const selectCutoff = 12
+
+// selectK partitions a so its k smallest elements under neighborLess
+// occupy a[:k] in unspecified order. Median-of-three pivots keep the walk
+// deterministic (no RNG) and resistant to sorted inputs. Requires
+// 0 < k < len(a).
+func selectK(a []Neighbor, k int) {
+	lo, hi := 0, len(a) // half-open working range
+	for hi-lo > selectCutoff {
+		p := partitionNeighbors(a, lo, hi)
+		switch {
+		case p == k-1:
+			return
+		case p < k-1:
+			lo = p + 1
+		default:
+			hi = p
+		}
+	}
+	insertionSortNeighbors(a, lo, hi)
+}
+
+// partitionNeighbors partitions a[lo:hi] around a median-of-three pivot
+// and returns the pivot's final position.
+func partitionNeighbors(a []Neighbor, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if neighborLess(a[mid], a[lo]) {
+		a[mid], a[lo] = a[lo], a[mid]
+	}
+	if neighborLess(a[hi-1], a[mid]) {
+		a[hi-1], a[mid] = a[mid], a[hi-1]
+		if neighborLess(a[mid], a[lo]) {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+	}
+	a[mid], a[hi-1] = a[hi-1], a[mid]
+	pivot := a[hi-1]
+	i := lo
+	for j := lo; j < hi-1; j++ {
+		if neighborLess(a[j], pivot) {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[hi-1] = a[hi-1], a[i]
+	return i
+}
+
+func insertionSortNeighbors(a []Neighbor, lo, hi int) {
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && neighborLess(a[j], a[j-1]); j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }
 
 // Query returns up to k approximate nearest neighbours of v, ranked by

@@ -1,0 +1,5 @@
+//go:build !race
+
+package lsh
+
+const raceEnabled = false

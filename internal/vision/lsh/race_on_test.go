@@ -1,0 +1,7 @@
+//go:build race
+
+package lsh
+
+// raceEnabled skips allocation-accounting tests: the race detector's
+// instrumentation allocates on its own behalf.
+const raceEnabled = true

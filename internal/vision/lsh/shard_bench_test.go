@@ -1,0 +1,162 @@
+package lsh
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The sharding benchmarks use dense buckets (few bits) so the candidate
+// set — and therefore per-query ranking cost — grows linearly with the
+// reference-set size, which is the regime the paper's recognition tier
+// operates in at scale. Reference sets and query vectors are built once
+// per size and shared across sub-benchmarks.
+
+const benchShardDim = 64
+
+func benchShardCfg() Config {
+	return Config{Dim: benchShardDim, Tables: 8, Bits: 6, Probes: 2, Seed: 9, Workers: 1}
+}
+
+type shardBenchSet struct {
+	vectors [][]float32
+	queries [][]float32
+	mono    *Index
+	sharded map[int]*ShardedIndex // by shard count
+}
+
+var (
+	shardBenchMu   sync.Mutex
+	shardBenchSets = map[int]*shardBenchSet{}
+)
+
+func benchSet(b *testing.B, n int) *shardBenchSet {
+	b.Helper()
+	shardBenchMu.Lock()
+	defer shardBenchMu.Unlock()
+	if s, ok := shardBenchSets[n]; ok {
+		return s
+	}
+	rng := rand.New(rand.NewSource(int64(n)))
+	s := &shardBenchSet{sharded: map[int]*ShardedIndex{}}
+	s.mono = New(benchShardCfg())
+	for id := 0; id < n; id++ {
+		v := randomUnit(rng, benchShardDim)
+		s.vectors = append(s.vectors, v)
+		s.mono.Add(id, v)
+	}
+	for q := 0; q < 16; q++ {
+		s.queries = append(s.queries, randomUnit(rng, benchShardDim))
+	}
+	shardBenchSets[n] = s
+	return s
+}
+
+func (s *shardBenchSet) shardedAt(shards int) *ShardedIndex {
+	shardBenchMu.Lock()
+	defer shardBenchMu.Unlock()
+	if sx, ok := s.sharded[shards]; ok {
+		return sx
+	}
+	sx := NewShardedFrom(s.mono, ShardConfig{Shards: shards, Workers: 1})
+	s.sharded[shards] = sx
+	return sx
+}
+
+// BenchmarkShardingReplica measures what one matching replica pays per
+// query: the monolithic baseline (shards=1) ranks candidates from the
+// whole reference set; at S shards a single replica holds and ranks only
+// its 1/S partition. This per-replica cost is the headline the sharding
+// PR buys — queries/sec one node can serve.
+func BenchmarkShardingReplica(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		set := benchSet(b, n)
+		for _, shards := range []int{1, 4, 8} {
+			var ix interface {
+				Query([]float32, int) []Neighbor
+			}
+			if shards == 1 {
+				ix = set.mono
+			} else {
+				// One shard replica, standing alone: the per-node view.
+				sx := set.shardedAt(shards)
+				ix = sx.snapshot().replicas[0][0]
+			}
+			b.Run(benchName("replica", shards, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ix.Query(set.queries[i%len(set.queries)], 10)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardingGather measures the full scatter/gather query — all
+// shards consulted and merged — against the monolithic index. On a
+// single core this bounds the merge + fan-out overhead; with cores to
+// scatter across it also recovers wall-clock latency.
+func BenchmarkShardingGather(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		set := benchSet(b, n)
+		b.Run(benchName("mono", 1, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				set.mono.Query(set.queries[i%len(set.queries)], 10)
+			}
+		})
+		for _, shards := range []int{4, 8} {
+			sx := set.shardedAt(shards)
+			b.Run(benchName("gather", shards, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sx.Query(set.queries[i%len(set.queries)], 10)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardingSortAndTrim compares the bounded quickselect top-k
+// against the full sort it replaced, at query-sized candidate counts.
+func BenchmarkShardingSortAndTrim(b *testing.B) {
+	rng := rand.New(rand.NewSource(40))
+	const n, k = 30_000, 10
+	base := make([]Neighbor, n)
+	for i := range base {
+		base[i] = Neighbor{ID: i, Dist: rng.Float64()}
+	}
+	scratch := make([]Neighbor, n)
+	b.Run("quickselect", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(scratch, base)
+			sortAndTrim(scratch, k)
+		}
+	})
+	b.Run("fullsort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			copy(scratch, base)
+			referenceSortAndTrim(scratch, k)
+		}
+	})
+}
+
+func benchName(kind string, shards, n int) string {
+	return kind + "/shards=" + itoa(shards) + "/n=" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

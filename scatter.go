@@ -112,6 +112,10 @@ type (
 	// LSHIndex is the multi-table LSH index a trained Model carries
 	// (Model.Index) — the sketch source for the recognition cache.
 	LSHIndex = lsh.Index
+	// NNIndex is the nearest-neighbour backend seam the lsh service and
+	// recognition cache query: satisfied by *LSHIndex, *ShardedIndex, and
+	// *ShardGather interchangeably, with bit-identical results.
+	NNIndex = core.NNIndex
 	// FastPathDigest is the live fast-path snapshot exposed as
 	// scatter_fastpath_* series by the obs registry.
 	FastPathDigest = obs.FastPathDigest
@@ -145,9 +149,81 @@ func NewFastProcessors(m *Model, stateless bool, analysisW, analysisH int) [wire
 func NewFastPathGate(cfg FastPathConfig) *FastPathGate { return core.NewFastPathGate(cfg) }
 
 // NewRecognitionCache builds a cross-client recognition cache over a
-// trained model's LSH index; install it as an LSHService's Cache.
-func NewRecognitionCache(cfg RecognitionCacheConfig, index *LSHIndex) *RecognitionCache {
+// recognition index (a trained model's LSH index, or a sharded/gather
+// backend — partitioned backends prefix keys with their layout
+// signature so entries never alias across layouts); install it as an
+// LSHService's Cache.
+func NewRecognitionCache(cfg RecognitionCacheConfig, index NNIndex) *RecognitionCache {
 	return core.NewRecognitionCache(cfg, index)
+}
+
+// Sharded reference database with scatter/gather top-k merge.
+type (
+	// ShardConfig shapes a sharded index: partition count, per-shard
+	// replication, and the underlying LSH parameters.
+	ShardConfig = lsh.ShardConfig
+	// ShardedIndex partitions an LSH reference database across shards by
+	// hash space; queries scatter to every shard and merge per-shard
+	// top-k under a deterministic total order, bit-identical to the
+	// monolithic index at O(N/shards) per-shard cost.
+	ShardedIndex = lsh.ShardedIndex
+	// ShardStats counts a sharded index's scatter activity.
+	ShardStats = lsh.ShardStats
+	// Neighbor is one ranked nearest-neighbour result.
+	Neighbor = lsh.Neighbor
+	// ShardServer serves one shard replica's queries over the wire.
+	ShardServer = agent.ShardServer
+	// ShardServerConfig configures a shard server.
+	ShardServerConfig = agent.ShardServerConfig
+	// ShardGather is the sidecar-side scatter/gather client over a shard
+	// fleet: it fans queries to every shard, picks replicas by live
+	// route health, gathers per-shard top-k under a timeout/quorum
+	// policy, and merges deterministically.
+	ShardGather = agent.ShardGather
+	// ShardGatherConfig configures a gather client (fleet addresses,
+	// LSH parameters, gather timeout, quorum, replica health windows).
+	ShardGatherConfig = agent.ShardGatherConfig
+	// ShardGatherStats counts a gather client's fan-out activity and
+	// degradations.
+	ShardGatherStats = agent.ShardGatherStats
+	// ShardDigest is the live sharding snapshot exposed as
+	// scatter_shard_* series by the obs registry.
+	ShardDigest = obs.ShardDigest
+	// ShardHealth is the orchestrator's per-shard replica coverage view.
+	ShardHealth = orchestrator.ShardHealth
+	// ShardingSimOptions mirrors sharding in the simulated pipeline
+	// (per-shard compute scaling, gather overhead, loss/quorum policy).
+	ShardingSimOptions = core.ShardingSimOptions
+)
+
+// ShardOfID maps a reference-object ID to its owning shard.
+func ShardOfID(id int, shards int) int { return lsh.ShardOf(id, shards) }
+
+// NewShardedIndex creates an empty sharded index.
+func NewShardedIndex(cfg ShardConfig) *ShardedIndex { return lsh.NewSharded(cfg) }
+
+// NewShardedFrom partitions an existing index's contents across shards,
+// inheriting its LSH parameters so results stay bit-identical.
+func NewShardedFrom(src *LSHIndex, cfg ShardConfig) *ShardedIndex {
+	return lsh.NewShardedFrom(src, cfg)
+}
+
+// MergeNeighbors k-way-merges per-shard top-k lists (each sorted by the
+// index's total order) into dst, allocation-free when dst has capacity.
+func MergeNeighbors(dst []Neighbor, lists [][]Neighbor, k int) []Neighbor {
+	return lsh.MergeNeighbors(dst, lists, k)
+}
+
+// StartShardServer serves one shard replica on its listen address.
+func StartShardServer(cfg ShardServerConfig) (*ShardServer, error) {
+	return agent.StartShardServer(cfg)
+}
+
+// NewShardGather builds a scatter/gather client over a shard fleet. It
+// satisfies NNIndex, so it plugs into NewLSHService and
+// NewRecognitionCache directly.
+func NewShardGather(cfg ShardGatherConfig) (*ShardGather, error) {
+	return agent.NewShardGather(cfg)
 }
 
 // NewVideoSource creates the deterministic synthetic clip generator.
