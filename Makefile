@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-vision bench-dataplane bench-batching bench-routing bench-fastpath bench-autoscale bench-sharding fuzz figures examples chaos clean
+.PHONY: all build vet test race cover bench bench-vision bench-dataplane bench-batching bench-routing bench-fastpath bench-autoscale bench-sharding bench-kernels profile-vision fuzz figures examples chaos clean
 
 all: build test
 
@@ -22,6 +22,7 @@ test:
 	$(GO) test -race ./internal/core ./internal/obs/... ./internal/agent ./internal/transport ./internal/netem ./internal/vision/... ./internal/appaware ./internal/orchestrator ./internal/wire
 	$(GO) test -run '^$$' -bench 'WorkerHop|DataplaneEncode' -benchtime=1x ./internal/agent
 	$(GO) test -run '^$$' -bench 'Sharding' -benchtime=1x ./internal/vision/lsh
+	$(GO) test -run '^$$' -bench 'KernelRank|KernelRatio' -benchtime=1x ./internal/vision/lsh ./internal/vision/match
 
 race:
 	$(GO) test -race ./...
@@ -94,6 +95,26 @@ bench-sharding:
 	$(GO) test -run '^$$' -bench 'Sharding' -benchmem ./internal/vision/lsh \
 		| $(GO) run ./cmd/benchjson -o BENCH_sharding.json -note "make bench-sharding"
 
+# Recognition hot-path distance kernels: exact-mode candidate ranking at
+# 10k/100k candidates (SoA arena + cached norms), the Hamming pre-rank
+# sweep with measured recall@10 per budget, and the deferred-sqrt ratio
+# test — exported to BENCH_kernels.json and compared against the
+# committed pre-change BENCH_kernels_baseline.json. Bit-identity and
+# allocation budgets are enforced as plain tests in `make test`.
+bench-kernels:
+	{ $(GO) test -run '^$$' -bench 'Kernel' -benchmem ./internal/vision/lsh; \
+	  $(GO) test -run '^$$' -bench 'Kernel' -benchmem ./internal/vision/match; } \
+		| $(GO) run ./cmd/benchjson -o BENCH_kernels.json -note "make bench-kernels"
+
+# CPU-profiles the vision kernel benchmarks for flamegraph inspection
+# (see EXPERIMENTS.md): writes cpu_lsh.pprof / cpu_match.pprof; open
+# with `go tool pprof -http=: cpu_lsh.pprof`.
+profile-vision:
+	$(GO) test -run '^$$' -bench 'Kernel' -benchtime 20x -cpuprofile cpu_lsh.pprof \
+		-o /dev/null ./internal/vision/lsh
+	$(GO) test -run '^$$' -bench 'Kernel' -cpuprofile cpu_match.pprof \
+		-o /dev/null ./internal/vision/match
+
 # Smoke-runs every vision kernel benchmark once at 1, 4, and 8 cores.
 # Worker pools size themselves from GOMAXPROCS, so each -cpu row measures
 # the pool at that width; see EXPERIMENTS.md for the full scaling recipe.
@@ -105,6 +126,7 @@ bench-vision:
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzUnmarshalBinary -fuzztime 30s
 	$(GO) test ./internal/core -fuzz FuzzDecodePayload -fuzztime 30s
+	$(GO) test ./internal/vision/lsh -fuzz FuzzSketchMatchesHash -fuzztime 30s
 
 # Chaos suite: fault-injected transports, mid-run partitions, machine
 # kills, and the end-to-end failover/recovery acceptance run — all under

@@ -27,6 +27,7 @@
 //	  "route_stats": {"enabled": true, "ack_timeout_ms": 250},
 //	  "fast_path": {"enabled": true, "refresh_every": 30, "min_confidence": 0.5},
 //	  "recognition_cache": {"enabled": true, "ttl_ms": 500, "capacity": 1024},
+//	  "lsh": {"pre_rank": 4},
 //	  "sharding": {"enabled": true, "shards": 4, "replication": 1},
 //	  "fault": {"packet_loss": 0.01, "delay_ms": 5, "seed": 42}
 //	}
@@ -44,7 +45,10 @@
 // frames answered at primary from matching's published verdicts, skipping
 // sift→matching; scatter_fastpath_* series on the obs endpoints);
 // recognition_cache shares LSH candidate lists across clients keyed by
-// the query's LSH sketch; sharding partitions the lsh reference database
+// the query's LSH sketch; lsh arms bit-packed Hamming pre-ranking on the
+// reference index (pre_rank n cuts the exact cosine pass to n·k
+// candidates; 0/omitted is exact mode, and the budget propagates into
+// shard replicas); sharding partitions the lsh reference database
 // across shard replicas with scatter/gather top-k merge — bit-identical
 // results, O(N/shards) per-replica query cost (scatter_shard_* series on
 // the obs endpoints; see shardingSpec for serving and remote-gather
@@ -135,6 +139,18 @@ type recognitionCacheSpec struct {
 	Enabled  bool `json:"enabled"`
 	TTLMs    int  `json:"ttl_ms,omitempty"`
 	Capacity int  `json:"capacity,omitempty"`
+}
+
+// lshSpec tunes the lsh service's recognition index. pre_rank > 0 arms
+// bit-packed Hamming pre-ranking: candidates are cut to pre_rank·k by
+// sketch Hamming distance (XOR/popcount over the Add-time sign
+// sketches) before the exact cosine pass re-ranks the survivors. 0
+// (default) is exact mode — every candidate cosine-ranked, bit-identical
+// results. 4 is the recommended trimming setting (recall@10 ≥ 0.95 on
+// clustered reference sets; see BENCH_kernels.json). The setting
+// propagates into shard replicas when sharding is enabled.
+type lshSpec struct {
+	PreRank int `json:"pre_rank,omitempty"`
 }
 
 // shardServeSpec exposes one of this node's database partitions to
@@ -237,6 +253,9 @@ type nodeConfig struct {
 	// published verdicts and skip sift→encoding→lsh→matching. Exported as
 	// scatter_fastpath_* on the obs endpoints.
 	FastPath *fastPathSpec `json:"fast_path,omitempty"`
+	// LSH tunes the recognition index's ranking kernels (Hamming
+	// pre-ranking budget; see lshSpec).
+	LSH *lshSpec `json:"lsh,omitempty"`
 	// RecognitionCache, when enabled, shares LSH candidate lists across
 	// clients keyed by the query's LSH sketch.
 	RecognitionCache *recognitionCacheSpec `json:"recognition_cache,omitempty"`
@@ -357,6 +376,14 @@ func main() {
 		router = statsRouter
 		log.Info("stats-driven routing armed",
 			"ack_timeout", statsRouter.AckTimeout())
+	}
+
+	// Optional Hamming pre-ranking on the recognition index. Set before
+	// sharding so NewShardedFrom inherits the budget into every replica
+	// (and shard servers serve with it).
+	if cfg.LSH != nil && cfg.LSH.PreRank > 0 {
+		model.Index.SetPreRank(cfg.LSH.PreRank)
+		log.Info("lsh pre-ranking armed", "pre_rank", cfg.LSH.PreRank)
 	}
 
 	// Optional database sharding: the lsh service queries partitions of

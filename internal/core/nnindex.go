@@ -34,3 +34,14 @@ type NNIndex interface {
 type LayoutSigner interface {
 	LayoutSignature() uint64
 }
+
+// PreRanker is implemented by NNIndex backends that support bit-packed
+// Hamming pre-ranking (lsh.Index and lsh.ShardedIndex): queries cut the
+// candidate set to n·k by sketch Hamming distance before the exact
+// cosine pass. SetPreRank(0) restores exact mode — bit-identical
+// ranking of every candidate. The control plane retunes it live; the
+// remote shard-gather client does not implement it (the budget lives
+// server-side on each shard's index).
+type PreRanker interface {
+	SetPreRank(n int)
+}

@@ -4,14 +4,25 @@
 // several tables hashes a vector to a bit string of hyperplane signs, and
 // queries probe the exact bucket plus optional single-bit-flip buckets
 // (multi-probe) before ranking candidates by exact cosine distance.
+//
+// The distance kernels are laid out for the cache, not the type system:
+// reference vectors live in one contiguous structure-of-arrays arena
+// (vector data, squared norms, and bit-packed sign sketches in three
+// dense parallel slabs indexed by slot), hyperplanes in one row-major
+// matrix, and ranking does a single dot-product pass per candidate
+// against norms cached at Add time. With Config.PreRank armed, ranking
+// first cuts the candidate set by packed-sketch Hamming distance —
+// XOR/popcount over a few words — before the exact cosine pass.
 package lsh
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/edge-mar/scatter/internal/vision/parallel"
 )
@@ -29,6 +40,14 @@ type Config struct {
 	Bits   int   // hyperplanes per table, <= 64 (default 16)
 	Probes int   // additional single-bit-flip probes per table (default 2)
 	Seed   int64 // RNG seed for hyperplanes (default 1)
+	// PreRank, when positive, arms bit-packed Hamming pre-ranking:
+	// queries rank candidates first by Hamming distance between packed
+	// sign sketches (Tables×Bits bits, XOR + popcount) and exactly
+	// re-rank only the top PreRank·k by cosine distance. Zero (the
+	// default) keeps exact mode — every candidate cosine-ranked,
+	// bit-identical to an index without sketches. A PreRank·k cut at or
+	// above the candidate count degenerates to exact mode.
+	PreRank int
 	// Workers bounds the worker pool for table construction, bulk
 	// hashing, and candidate ranking. Zero uses GOMAXPROCS; one forces
 	// the serial path. Hash tables and query results are identical at
@@ -38,13 +57,39 @@ type Config struct {
 
 // Index is a multi-table random-hyperplane LSH index. It is safe for
 // concurrent use: lookups take a read lock, Add takes a write lock.
+//
+// Reference storage is a structure-of-arrays arena: vector s occupies
+// arena[s*Dim:(s+1)*Dim], its squared L2 norm normsSq[s], and its packed
+// sign sketch sketches[s*sketchWords:(s+1)*sketchWords]. Slots are dense;
+// Remove swap-moves the last slot into the hole so the arena never
+// fragments and the ranking pass streams contiguous memory.
+//
+// Hash buckets hold slots, not ids, so candidate collection, Hamming
+// pre-ranking, and cosine ranking are pure array indexing — no map
+// lookups on the query hot path. Ranking translates slots back to
+// public ids (slotIDs is a dense array) before the (distance, id)
+// sort, so result ordering and tie-breaking stay on ids exactly as
+// before. Remove redirects the swap-moved item's bucket entries using
+// its stored sketch, keeping bucket slots valid.
 type Index struct {
-	cfg    Config
-	planes [][][]float32 // [table][bit][dim]
+	cfg Config
+	// planes is the row-major hyperplane matrix: the plane of (table t,
+	// bit b) occupies planes[((t*Bits)+b)*Dim : ((t*Bits)+b+1)*Dim].
+	// Immutable after New, so hashing never takes the index lock.
+	planes []float32
+	// sketchWords is the packed-sketch stride: ceil(Tables*Bits / 64).
+	sketchWords int
+	// preRank is the live Hamming pre-ranking budget (see Config.PreRank);
+	// atomic so SetPreRank can retune a serving index without the lock.
+	preRank atomic.Int64
 
-	mu      sync.RWMutex
-	tables  []map[uint64][]int
-	vectors map[int][]float32
+	mu       sync.RWMutex
+	tables   []map[uint64][]int
+	arena    []float32
+	normsSq  []float64
+	sketches []uint64
+	slotIDs  []int       // slot → id
+	slots    map[int]int // id → slot
 }
 
 // New creates an empty index. It panics on a non-positive dimension or
@@ -70,29 +115,31 @@ func New(cfg Config) *Index {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	ix := &Index{
-		cfg:     cfg,
-		planes:  make([][][]float32, cfg.Tables),
-		tables:  make([]map[uint64][]int, cfg.Tables),
-		vectors: make(map[int][]float32),
+	if cfg.PreRank < 0 {
+		cfg.PreRank = 0
 	}
+	ix := &Index{
+		cfg:         cfg,
+		planes:      make([]float32, cfg.Tables*cfg.Bits*cfg.Dim),
+		sketchWords: (cfg.Tables*cfg.Bits + 63) / 64,
+		tables:      make([]map[uint64][]int, cfg.Tables),
+		slots:       make(map[int]int),
+	}
+	ix.preRank.Store(int64(cfg.PreRank))
 	// Each table draws its hyperplanes from its own rand.Rand seeded
 	// deterministically from the config seed, so construction can fan out
 	// across the pool and the planes of table t never depend on how many
 	// other tables exist, what order they are built in, or any other
-	// package's use of the global math/rand source.
+	// package's use of the global math/rand source. The draw order within
+	// a table (bit-major, then dimension) matches the former nested-slice
+	// layout, so a given (seed, table) yields the same hyperplanes.
 	parallel.For(cfg.Workers, cfg.Tables, 1, func(_, start, end int) {
 		for t := start; t < end; t++ {
 			rng := rand.New(rand.NewSource(tableSeed(cfg.Seed, t)))
-			bits := make([][]float32, cfg.Bits)
-			for b := range bits {
-				plane := make([]float32, cfg.Dim)
-				for d := range plane {
-					plane[d] = float32(rng.NormFloat64())
-				}
-				bits[b] = plane
+			row := ix.planes[t*cfg.Bits*cfg.Dim : (t+1)*cfg.Bits*cfg.Dim]
+			for i := range row {
+				row[i] = float32(rng.NormFloat64())
 			}
-			ix.planes[t] = bits
 			ix.tables[t] = make(map[uint64][]int)
 		}
 	})
@@ -114,23 +161,42 @@ func (ix *Index) Tables() int { return ix.cfg.Tables }
 // Dim returns the configured vector dimensionality.
 func (ix *Index) Dim() int { return ix.cfg.Dim }
 
-// Config returns the index's effective configuration (after
-// defaulting). Two indexes built from equal configs draw identical
-// hyperplanes — the property sharding relies on for bit-identity.
-func (ix *Index) Config() Config { return ix.cfg }
+// Config returns the index's effective configuration (after defaulting,
+// with the live PreRank setting). Two indexes built from equal configs
+// draw identical hyperplanes — the property sharding relies on for
+// bit-identity.
+func (ix *Index) Config() Config {
+	cfg := ix.cfg
+	cfg.PreRank = int(ix.preRank.Load())
+	return cfg
+}
+
+// SetPreRank retunes the Hamming pre-ranking budget on a live index
+// (see Config.PreRank). Zero restores exact mode. Sketches are always
+// maintained at Add time, so the switch costs nothing and applies to the
+// next query.
+func (ix *Index) SetPreRank(n int) {
+	if n < 0 {
+		n = 0
+	}
+	ix.preRank.Store(int64(n))
+}
 
 // Len returns the number of stored items.
 func (ix *Index) Len() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.vectors)
+	return len(ix.slotIDs)
 }
 
 // Hash returns the bucket key of v in the given table.
 func (ix *Index) Hash(table int, v []float32) uint64 {
 	ix.checkDim(v)
 	var key uint64
-	for b, plane := range ix.planes[table] {
+	dim := ix.cfg.Dim
+	base := table * ix.cfg.Bits * dim
+	for b := 0; b < ix.cfg.Bits; b++ {
+		plane := ix.planes[base+b*dim : base+(b+1)*dim]
 		var dot float64
 		for d, x := range v {
 			dot += float64(x) * float64(plane[d])
@@ -148,7 +214,53 @@ func (ix *Index) checkDim(v []float32) {
 	}
 }
 
-// keyPool recycles per-call bucket-key buffers (one key per table).
+// normSq accumulates the squared L2 norm in index order — the exact
+// float64 addition sequence CosineDistance's per-vector reduction uses,
+// which is what lets Add-time caching stay bit-identical to computing
+// the norm inside the distance call.
+func normSq(v []float32) float64 {
+	var n float64
+	for _, x := range v {
+		f := float64(x)
+		n += f * f
+	}
+	return n
+}
+
+// packSketch packs per-table bucket keys into a dense little-endian bit
+// string: table t's bit b lands at global bit position t*bits + b. dst
+// must hold ceil(len(keys)*bits / 64) words and is overwritten.
+func packSketch(dst, keys []uint64, bitsPerTable int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for t, key := range keys {
+		p := t * bitsPerTable
+		w, off := p>>6, uint(p&63)
+		dst[w] |= key << off
+		if off+uint(bitsPerTable) > 64 {
+			dst[w+1] |= key >> (64 - off)
+		}
+	}
+}
+
+// unpackKey extracts table t's bucket key back out of a packed sketch —
+// the inverse of packSketch, pinned to Hash by a differential fuzz
+// target. Remove recovers bucket keys this way instead of re-hashing.
+func unpackKey(sketch []uint64, t, bitsPerTable int) uint64 {
+	p := t * bitsPerTable
+	w, off := p>>6, uint(p&63)
+	key := sketch[w] >> off
+	if off+uint(bitsPerTable) > 64 {
+		key |= sketch[w+1] << (64 - off)
+	}
+	if bitsPerTable < 64 {
+		key &= 1<<uint(bitsPerTable) - 1
+	}
+	return key
+}
+
+// keyPool recycles per-call bucket-key and packed-sketch buffers.
 var keyPool parallel.SlicePool[uint64]
 
 // hashAll computes the bucket key of v in every table into keys (length
@@ -169,23 +281,31 @@ func (ix *Index) hashAll(v []float32, keys []uint64) {
 }
 
 // Add stores vector v under id, replacing any previous vector with the
-// same id. The vector is copied. Per-table hashing happens outside the
-// write lock, on the worker pool for high-dimensional indexes.
+// same id. The vector is copied into the arena. Per-table hashing, norm
+// caching, and sketch packing all happen outside the write lock.
 func (ix *Index) Add(id int, v []float32) {
 	ix.checkDim(v)
-	cp := append([]float32(nil), v...)
 	keys := keyPool.Get(ix.cfg.Tables)
-	ix.hashAll(cp, keys)
+	ix.hashAll(v, keys)
+	n := normSq(v)
+	sketch := keyPool.Get(ix.sketchWords)
+	packSketch(sketch, keys, ix.cfg.Bits)
 
 	ix.mu.Lock()
-	if old, ok := ix.vectors[id]; ok {
-		ix.removeLocked(id, old)
+	if slot, ok := ix.slots[id]; ok {
+		ix.removeSlotLocked(id, slot)
 	}
-	ix.vectors[id] = cp
+	slot := len(ix.slotIDs)
+	ix.arena = append(ix.arena, v...)
+	ix.normsSq = append(ix.normsSq, n)
+	ix.sketches = append(ix.sketches, sketch...)
+	ix.slotIDs = append(ix.slotIDs, id)
+	ix.slots[id] = slot
 	for t := range ix.tables {
-		ix.tables[t][keys[t]] = append(ix.tables[t][keys[t]], id)
+		ix.tables[t][keys[t]] = append(ix.tables[t][keys[t]], slot)
 	}
 	ix.mu.Unlock()
+	keyPool.Put(sketch)
 	keyPool.Put(keys)
 }
 
@@ -193,21 +313,25 @@ func (ix *Index) Add(id int, v []float32) {
 func (ix *Index) Remove(id int) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if v, ok := ix.vectors[id]; ok {
-		ix.removeLocked(id, v)
-		delete(ix.vectors, id)
+	if slot, ok := ix.slots[id]; ok {
+		ix.removeSlotLocked(id, slot)
 	}
 }
 
-func (ix *Index) removeLocked(id int, v []float32) {
-	keys := keyPool.Get(ix.cfg.Tables)
-	ix.hashAll(v, keys)
-	defer keyPool.Put(keys)
+// removeSlotLocked unlinks slot from every bucket (bucket keys are
+// recovered from the stored sketch — no re-hash) and swap-moves the last
+// arena slot into the hole, keeping vector data, cached norms, and
+// sketches dense. The moved item's bucket entries are redirected to its
+// new slot the same way, via its own sketch. Callers must hold the
+// write lock.
+func (ix *Index) removeSlotLocked(id, slot int) {
+	sw, dim := ix.sketchWords, ix.cfg.Dim
+	sketch := ix.sketches[slot*sw : (slot+1)*sw]
 	for t := range ix.tables {
-		key := keys[t]
+		key := unpackKey(sketch, t, ix.cfg.Bits)
 		bucket := ix.tables[t][key]
-		for i, bid := range bucket {
-			if bid == id {
+		for i, bs := range bucket {
+			if bs == slot {
 				ix.tables[t][key] = append(bucket[:i], bucket[i+1:]...)
 				break
 			}
@@ -215,6 +339,40 @@ func (ix *Index) removeLocked(id int, v []float32) {
 		if len(ix.tables[t][key]) == 0 {
 			delete(ix.tables[t], key)
 		}
+	}
+	last := len(ix.slotIDs) - 1
+	if slot != last {
+		moved := ix.sketches[last*sw : (last+1)*sw]
+		for t := range ix.tables {
+			bucket := ix.tables[t][unpackKey(moved, t, ix.cfg.Bits)]
+			for i, bs := range bucket {
+				if bs == last {
+					bucket[i] = slot
+					break
+				}
+			}
+		}
+		copy(ix.arena[slot*dim:(slot+1)*dim], ix.arena[last*dim:(last+1)*dim])
+		copy(sketch, moved)
+		ix.normsSq[slot] = ix.normsSq[last]
+		movedID := ix.slotIDs[last]
+		ix.slotIDs[slot] = movedID
+		ix.slots[movedID] = slot
+	}
+	ix.arena = ix.arena[:last*dim]
+	ix.sketches = ix.sketches[:last*sw]
+	ix.normsSq = ix.normsSq[:last]
+	ix.slotIDs = ix.slotIDs[:last]
+	delete(ix.slots, id)
+}
+
+// eachLocked calls f with every stored (id, vector) pair in slot order.
+// The vector slice aliases the arena: callers must hold at least a read
+// lock for the duration and must not retain or mutate it.
+func (ix *Index) eachLocked(f func(id int, v []float32)) {
+	dim := ix.cfg.Dim
+	for s, id := range ix.slotIDs {
+		f(id, ix.arena[s*dim:(s+1)*dim])
 	}
 }
 
@@ -237,15 +395,130 @@ func CosineDistance(a, b []float32) float64 {
 // rankGrain is the candidate granularity of parallel distance ranking.
 const rankGrain = 32
 
-// rankLocked fills Dist for every candidate neighbor. Each distance is an
-// independent exact computation, so the fan-out cannot change results.
-// Callers must hold at least a read lock (workers read ix.vectors).
-func (ix *Index) rankLocked(v []float32, neighbors []Neighbor) {
-	parallel.For(ix.cfg.Workers, len(neighbors), rankGrain, func(_, start, end int) {
-		for i := start; i < end; i++ {
-			neighbors[i].Dist = CosineDistance(v, ix.vectors[neighbors[i].ID])
+// rankRange ranks candidates neighbors[start:end], whose ID field holds
+// arena slots on entry: one dot-product pass over the contiguous arena
+// row per candidate against the Add-time norm cache and the hoisted
+// query norm qn, then the slot is rewritten to the public id. The dot
+// accumulates in index order and the norms accumulate per vector in
+// index order — the same three float64 reduction sequences
+// CosineDistance runs in one loop — so the distance is bit-identical to
+// the fused computation.
+func (ix *Index) rankRange(v []float32, qn float64, neighbors []Neighbor, start, end int) {
+	dim := ix.cfg.Dim
+	for i := start; i < end; i++ {
+		slot := neighbors[i].ID
+		ref := ix.arena[slot*dim : (slot+1)*dim]
+		var dot float64
+		for d, x := range v {
+			dot += float64(x) * float64(ref[d])
 		}
+		nb := ix.normsSq[slot]
+		d := 1.0
+		if qn != 0 && nb != 0 {
+			d = 1 - dot/math.Sqrt(qn*nb)
+		}
+		neighbors[i] = Neighbor{ID: ix.slotIDs[slot], Dist: d}
+	}
+}
+
+// rankLocked ranks every candidate neighbor (ID holds the arena slot on
+// entry, the public id on return — see rankRange). The query norm is
+// computed once and shared by every candidate; each distance is an
+// independent exact computation, so the fan-out cannot change results.
+// The serial path runs inline (no closure, no goroutines — zero
+// allocations). Callers must hold at least a read lock.
+func (ix *Index) rankLocked(v []float32, neighbors []Neighbor) {
+	qn := normSq(v)
+	n := len(neighbors)
+	if ix.cfg.Workers == 1 || n <= rankGrain {
+		ix.rankRange(v, qn, neighbors, 0, n)
+		return
+	}
+	parallel.For(ix.cfg.Workers, n, rankGrain, func(_, start, end int) {
+		ix.rankRange(v, qn, neighbors, start, end)
 	})
+}
+
+// rankAllRange ranks stored slots [start, end) into neighbors: pure
+// arena streaming in slot order, no id→slot lookups.
+func (ix *Index) rankAllRange(v []float32, qn float64, neighbors []Neighbor, start, end int) {
+	dim := ix.cfg.Dim
+	for s := start; s < end; s++ {
+		ref := ix.arena[s*dim : (s+1)*dim]
+		var dot float64
+		for d, x := range v {
+			dot += float64(x) * float64(ref[d])
+		}
+		nb := ix.normsSq[s]
+		d := 1.0
+		if qn != 0 && nb != 0 {
+			d = 1 - dot/math.Sqrt(qn*nb)
+		}
+		neighbors[s] = Neighbor{ID: ix.slotIDs[s], Dist: d}
+	}
+}
+
+// rankAllLocked ranks every stored item in slot order into neighbors
+// (length Len) — the ExactNN fast path. The serial path runs inline (no
+// closure — zero allocations). Callers must hold at least a read lock.
+func (ix *Index) rankAllLocked(v []float32, neighbors []Neighbor) {
+	qn := normSq(v)
+	n := len(neighbors)
+	if ix.cfg.Workers == 1 || n <= rankGrain {
+		ix.rankAllRange(v, qn, neighbors, 0, n)
+		return
+	}
+	parallel.For(ix.cfg.Workers, n, rankGrain, func(_, start, end int) {
+		ix.rankAllRange(v, qn, neighbors, start, end)
+	})
+}
+
+// preRankLocked cuts the candidate set (ID holds arena slots) to
+// PreRank·k by packed-sketch Hamming distance (XOR + popcount over
+// sketchWords words per candidate) ahead of exact cosine ranking.
+// Selection is under the (Hamming, slot) total order, so the kept set
+// is deterministic. With PreRank zero, or PreRank·k at or above the
+// candidate count, the set is returned intact — exact mode. keys are
+// the query's per-table bucket keys (already computed for probing).
+// Callers must hold at least a read lock.
+func (ix *Index) preRankLocked(keys []uint64, neighbors []Neighbor, k int) []Neighbor {
+	pr := int(ix.preRank.Load())
+	if pr <= 0 {
+		return neighbors
+	}
+	keep := pr * k
+	if keep <= 0 || keep >= len(neighbors) {
+		return neighbors
+	}
+	qs := keyPool.Get(ix.sketchWords)
+	packSketch(qs, keys, ix.cfg.Bits)
+	n := len(neighbors)
+	if ix.cfg.Workers == 1 || n <= rankGrain {
+		ix.hammingRange(qs, neighbors, 0, n)
+	} else {
+		parallel.For(ix.cfg.Workers, n, rankGrain, func(_, start, end int) {
+			ix.hammingRange(qs, neighbors, start, end)
+		})
+	}
+	neighbors = sortAndTrim(neighbors, keep)
+	keyPool.Put(qs)
+	return neighbors
+}
+
+// hammingRange fills Dist for neighbors[start:end] (ID holds the arena
+// slot) with the Hamming distance between each candidate's packed
+// sketch and the query sketch qs — XOR and popcount over sketchWords
+// words per candidate, straight out of the sketch slab.
+func (ix *Index) hammingRange(qs []uint64, neighbors []Neighbor, start, end int) {
+	sw := ix.sketchWords
+	for i := start; i < end; i++ {
+		ref := ix.sketches[neighbors[i].ID*sw : (neighbors[i].ID+1)*sw]
+		h := 0
+		for w, x := range ref {
+			h += bits.OnesCount64(x ^ qs[w])
+		}
+		neighbors[i].Dist = float64(h)
+	}
 }
 
 // neighborLess is the (distance, id) comparator used everywhere results
@@ -336,10 +609,43 @@ func insertionSortNeighbors(a []Neighbor, lo, hi int) {
 	}
 }
 
+// seenPool recycles the per-query candidate-dedup bitmap. Slots are
+// dense, so membership is one bool indexed by slot — no hash map on the
+// candidate-collection path.
+var seenPool parallel.SlicePool[bool]
+
+// collectLocked appends the deduplicated candidate slots of the query
+// whose per-table bucket keys are keys — the exact buckets plus
+// single-bit-flip probe buckets — as Neighbor{ID: slot} entries onto
+// dst. seen must be a zeroed bitmap of at least Len bools; it is left
+// with the collected slots set. Callers must hold at least a read lock.
+func (ix *Index) collectLocked(keys []uint64, seen []bool, dst []Neighbor) []Neighbor {
+	for t := range ix.tables {
+		key := keys[t]
+		for _, s := range ix.tables[t][key] {
+			if !seen[s] {
+				seen[s] = true
+				dst = append(dst, Neighbor{ID: s})
+			}
+		}
+		for p := 0; p < ix.cfg.Probes && p < ix.cfg.Bits; p++ {
+			for _, s := range ix.tables[t][key^(1<<uint(p))] {
+				if !seen[s] {
+					seen[s] = true
+					dst = append(dst, Neighbor{ID: s})
+				}
+			}
+		}
+	}
+	return dst
+}
+
 // Query returns up to k approximate nearest neighbours of v, ranked by
 // exact cosine distance over the union of candidate buckets across all
-// tables (plus multi-probe buckets differing by one bit). Per-table
-// hashing and candidate ranking run on the worker pool.
+// tables (plus multi-probe buckets differing by one bit). With PreRank
+// armed the candidate set is first cut to PreRank·k by sketch Hamming
+// distance. Per-table hashing and candidate ranking run on the worker
+// pool; candidate scratch is pooled, so only the top-k copy escapes.
 func (ix *Index) Query(v []float32, k int) []Neighbor {
 	ix.checkDim(v)
 	if k <= 0 {
@@ -349,27 +655,22 @@ func (ix *Index) Query(v []float32, k int) []Neighbor {
 	ix.hashAll(v, keys)
 
 	ix.mu.RLock()
-	seen := make(map[int]struct{})
-	for t := range ix.tables {
-		key := keys[t]
-		for _, id := range ix.tables[t][key] {
-			seen[id] = struct{}{}
-		}
-		for p := 0; p < ix.cfg.Probes && p < ix.cfg.Bits; p++ {
-			probe := key ^ (1 << uint(p))
-			for _, id := range ix.tables[t][probe] {
-				seen[id] = struct{}{}
-			}
-		}
-	}
-	neighbors := make([]Neighbor, 0, len(seen))
-	for id := range seen {
-		neighbors = append(neighbors, Neighbor{ID: id})
-	}
+	seen := seenPool.Get(len(ix.slotIDs))
+	scratch := neighborPool.Get(0)
+	neighbors := ix.collectLocked(keys, seen, scratch[:0])
+	neighbors = ix.preRankLocked(keys, neighbors, k)
 	ix.rankLocked(v, neighbors)
 	ix.mu.RUnlock()
+	top := sortAndTrim(neighbors, k)
+	out := make([]Neighbor, len(top))
+	copy(out, top)
+	if cap(neighbors) > cap(scratch) {
+		scratch = neighbors
+	}
+	neighborPool.Put(scratch)
+	seenPool.Put(seen)
 	keyPool.Put(keys)
-	return sortAndTrim(neighbors, k)
+	return out
 }
 
 // neighborPool recycles candidate-ranking buffers across QueryBatch
@@ -409,54 +710,47 @@ func (ix *Index) QueryBatch(vs [][]float32, k int) [][]Neighbor {
 		}
 	})
 
-	seen := make(map[int]struct{})
-	scratch := neighborPool.Get(0)
 	ix.mu.RLock()
+	seen := seenPool.Get(len(ix.slotIDs))
+	scratch := neighborPool.Get(0)
 	for q, v := range vs {
-		clear(seen)
-		for t := range ix.tables {
-			key := keys[q*nt+t]
-			for _, id := range ix.tables[t][key] {
-				seen[id] = struct{}{}
-			}
-			for p := 0; p < ix.cfg.Probes && p < ix.cfg.Bits; p++ {
-				probe := key ^ (1 << uint(p))
-				for _, id := range ix.tables[t][probe] {
-					seen[id] = struct{}{}
-				}
-			}
+		neighbors := ix.collectLocked(keys[q*nt:(q+1)*nt], seen, scratch[:0])
+		if cap(neighbors) > cap(scratch) {
+			scratch = neighbors
 		}
-		neighbors := scratch[:0]
-		for id := range seen {
-			neighbors = append(neighbors, Neighbor{ID: id})
+		// Reset only the bits this query set (O(candidates), not O(Len))
+		// before ranking rewrites the slots to public ids.
+		for _, nb := range neighbors {
+			seen[nb.ID] = false
 		}
+		neighbors = ix.preRankLocked(keys[q*nt:(q+1)*nt], neighbors, k)
 		ix.rankLocked(v, neighbors)
 		neighbors = sortAndTrim(neighbors, k)
 		out[q] = append([]Neighbor(nil), neighbors...)
-		if cap(neighbors) > cap(scratch) {
-			scratch = neighbors[:0]
-		}
 	}
 	ix.mu.RUnlock()
 	neighborPool.Put(scratch)
+	seenPool.Put(seen)
 	keyPool.Put(keys)
 	return out
 }
 
 // ExactNN returns the true k nearest neighbours by brute force — the
-// accuracy baseline LSH recall is measured against. The distance scan is
-// row-parallel.
+// accuracy baseline LSH recall is measured against. The distance scan
+// streams the arena in slot order (row-parallel on the worker pool) into
+// a pooled candidate buffer; only the trimmed top-k escapes.
 func (ix *Index) ExactNN(v []float32, k int) []Neighbor {
 	ix.checkDim(v)
 	if k <= 0 {
 		return nil
 	}
 	ix.mu.RLock()
-	neighbors := make([]Neighbor, 0, len(ix.vectors))
-	for id := range ix.vectors {
-		neighbors = append(neighbors, Neighbor{ID: id})
-	}
-	ix.rankLocked(v, neighbors)
+	scratch := neighborPool.Get(len(ix.slotIDs))
+	ix.rankAllLocked(v, scratch)
 	ix.mu.RUnlock()
-	return sortAndTrim(neighbors, k)
+	top := sortAndTrim(scratch, k)
+	out := make([]Neighbor, len(top))
+	copy(out, top)
+	neighborPool.Put(scratch)
+	return out
 }

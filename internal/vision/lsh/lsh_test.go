@@ -290,13 +290,9 @@ func TestSameSeedIdenticalTables(t *testing.T) {
 	rand.Int63()
 	for _, workers := range []int{1, 4, 8} {
 		ix := build(workers)
-		for ti := range ref.planes {
-			for bi := range ref.planes[ti] {
-				for d := range ref.planes[ti][bi] {
-					if ix.planes[ti][bi][d] != ref.planes[ti][bi][d] {
-						t.Fatalf("workers=%d: plane [%d][%d][%d] differs", workers, ti, bi, d)
-					}
-				}
+		for p := range ref.planes {
+			if ix.planes[p] != ref.planes[p] {
+				t.Fatalf("workers=%d: plane matrix differs at flat index %d", workers, p)
 			}
 		}
 		for ti := range ref.tables {

@@ -106,13 +106,13 @@ func NewSharded(cfg ShardConfig) *ShardedIndex {
 // bucket keys) match the source index bit for bit.
 func NewShardedFrom(src *Index, cfg ShardConfig) *ShardedIndex {
 	cfg = cfg.withDefaults()
-	cfg.Index = src.cfg
+	cfg.Index = src.Config()
 	sx := &ShardedIndex{cfg: cfg}
 	sx.topo = sx.buildTopology(cfg.Shards, 1)
 	src.mu.RLock()
-	for id, v := range src.vectors {
+	src.eachLocked(func(id int, v []float32) {
 		sx.addLocked(sx.topo, id, v)
-	}
+	})
 	src.mu.RUnlock()
 	return sx
 }
@@ -155,6 +155,28 @@ func (sx *ShardedIndex) Shards() int {
 
 // Replication returns the replicas kept per shard.
 func (sx *ShardedIndex) Replication() int { return sx.cfg.Replication }
+
+// SetPreRank retunes the Hamming pre-ranking budget on every replica of
+// every shard (see Config.PreRank), and records it in the config future
+// topologies are built from, so a later Resize keeps the setting. Note
+// the recall contract is per shard: each shard exactly re-ranks its own
+// top PreRank·k, so the gather sees at least as many exactly-ranked
+// candidates as a monolithic index at the same setting — sharded recall
+// is never below monolithic recall. Zero restores exact mode, which is
+// bit-identical to the monolithic index.
+func (sx *ShardedIndex) SetPreRank(n int) {
+	if n < 0 {
+		n = 0
+	}
+	sx.mu.Lock()
+	defer sx.mu.Unlock()
+	sx.cfg.Index.PreRank = n
+	for _, reps := range sx.topo.replicas {
+		for _, ix := range reps {
+			ix.SetPreRank(n)
+		}
+	}
+}
 
 // Tables returns the number of hash tables — identical in every shard.
 func (sx *ShardedIndex) Tables() int { return sx.anyIndex().Tables() }
@@ -266,9 +288,9 @@ func (sx *ShardedIndex) Resize(shards int) {
 	for _, reps := range sx.topo.replicas {
 		src := reps[0]
 		src.mu.RLock()
-		for id, v := range src.vectors {
+		src.eachLocked(func(id int, v []float32) {
 			sx.addLocked(next, id, v)
-		}
+		})
 		src.mu.RUnlock()
 	}
 	sx.topo = next

@@ -188,7 +188,7 @@ func TestShardedResize(t *testing.T) {
 			for s, reps := range topo.replicas {
 				for r, ix := range reps {
 					ix.mu.RLock()
-					_, ok := ix.vectors[id]
+					_, ok := ix.slots[id]
 					ix.mu.RUnlock()
 					if ok != (s == want) {
 						t.Fatalf("Resize(%d): id %d present=%v in shard %d replica %d, want shard %d only",

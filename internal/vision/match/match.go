@@ -49,10 +49,15 @@ func ratioTest(query, train []sift.Feature, ratio float64, workers int) []Match 
 	parallel.For(workers, len(query), ratioGrain, func(chunk, start, end int) {
 		var out []Match
 		for qi := start; qi < end; qi++ {
+			// Deferred sqrt: best/second are tracked as squared L2 — sqrt
+			// is monotone, so the selection picks the same pair — and only
+			// the two survivors are sqrt'd, turning |train| sqrts per query
+			// feature into two. The emitted Dist and the ratio comparison
+			// use the sqrt'd values, so output matches a per-pair-L2 scan.
 			best, second := math.Inf(1), math.Inf(1)
 			bestIdx := -1
 			for ti := range train {
-				d := sift.L2(&query[qi].Desc, &train[ti].Desc)
+				d := sift.L2Sq(&query[qi].Desc, &train[ti].Desc)
 				if d < best {
 					second = best
 					best = d
@@ -64,11 +69,12 @@ func ratioTest(query, train []sift.Feature, ratio float64, workers int) []Match 
 			if bestIdx < 0 {
 				continue
 			}
-			// second == 0 means a duplicate train descriptor ties the
+			bestD, secondD := math.Sqrt(best), math.Sqrt(second)
+			// secondD == 0 means a duplicate train descriptor ties the
 			// best match exactly — ambiguous, so reject it (the old
 			// behavior admitted these bogus matches).
-			if second > 0 && best < ratio*second {
-				out = append(out, Match{QueryIdx: qi, TrainIdx: bestIdx, Dist: best})
+			if secondD > 0 && bestD < ratio*secondD {
+				out = append(out, Match{QueryIdx: qi, TrainIdx: bestIdx, Dist: bestD})
 			}
 		}
 		parts[chunk] = out
@@ -88,8 +94,8 @@ var distPool parallel.SlicePool[float64]
 // train set, reusing a single pooled distance-matrix allocation across
 // the whole batch (sized for the largest query set). Each result is
 // bit-identical to RatioTest on the same query set: distances are the
-// same sift.L2 evaluations and best/second selection scans train indices
-// in the same order, so a batch of one degenerates to RatioTest.
+// same sift.L2Sq evaluations and best/second selection scans train
+// indices in the same order, so a batch of one degenerates to RatioTest.
 func RatioTestBatch(queries [][]sift.Feature, train []sift.Feature, ratio float64) [][]Match {
 	return ratioTestBatch(queries, train, ratio, 0)
 }
@@ -118,9 +124,11 @@ func ratioTestBatch(queries [][]sift.Feature, train []sift.Feature, ratio float6
 		parallel.For(workers, len(query), ratioGrain, func(chunk, start, end int) {
 			var part []Match
 			for qi := start; qi < end; qi++ {
+				// Same deferred-sqrt kernel as ratioTest: the row holds
+				// squared L2 and only the surviving pair is sqrt'd.
 				row := dist[qi*len(train) : (qi+1)*len(train)]
 				for ti := range train {
-					row[ti] = sift.L2(&query[qi].Desc, &train[ti].Desc)
+					row[ti] = sift.L2Sq(&query[qi].Desc, &train[ti].Desc)
 				}
 				best, second := math.Inf(1), math.Inf(1)
 				bestIdx := -1
@@ -136,8 +144,9 @@ func ratioTestBatch(queries [][]sift.Feature, train []sift.Feature, ratio float6
 				if bestIdx < 0 {
 					continue
 				}
-				if second > 0 && best < ratio*second {
-					part = append(part, Match{QueryIdx: qi, TrainIdx: bestIdx, Dist: best})
+				bestD, secondD := math.Sqrt(best), math.Sqrt(second)
+				if secondD > 0 && bestD < ratio*secondD {
+					part = append(part, Match{QueryIdx: qi, TrainIdx: bestIdx, Dist: bestD})
 				}
 			}
 			parts[chunk] = part

@@ -176,6 +176,33 @@ func TestL2Distance(t *testing.T) {
 	}
 }
 
+// TestL2SqMatchesL2 pins the deferred-sqrt identity the match kernels
+// rely on: L2 must be exactly math.Sqrt(L2Sq) — same summation order,
+// bit-identical — so selecting on L2Sq and sqrt-ing the survivors
+// reproduces per-pair L2 results exactly.
+func TestL2SqMatchesL2(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var a, b Descriptor
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+		}
+		sq := L2Sq(&a, &b)
+		if got := L2(&a, &b); got != math.Sqrt(sq) {
+			t.Fatalf("L2 = %v, Sqrt(L2Sq) = %v — must be bit-identical", got, math.Sqrt(sq))
+		}
+		var want float64
+		for i := range a {
+			d := float64(a[i] - b[i])
+			want += d * d
+		}
+		if sq != want {
+			t.Fatalf("L2Sq = %v, direct sum = %v", sq, want)
+		}
+	}
+}
+
 func TestNewFillsDefaults(t *testing.T) {
 	d := New(Config{})
 	if d.cfg.Levels != 3 || d.cfg.SigmaBase != 1.6 {

@@ -112,10 +112,18 @@ type (
 	// LSHIndex is the multi-table LSH index a trained Model carries
 	// (Model.Index) — the sketch source for the recognition cache.
 	LSHIndex = lsh.Index
+	// LSHConfig parameterizes an LSHIndex: vector dimensionality, table
+	// shape, multi-probe budget, seed, and the Hamming pre-ranking
+	// budget (PreRank; 0 = exact mode).
+	LSHConfig = lsh.Config
 	// NNIndex is the nearest-neighbour backend seam the lsh service and
 	// recognition cache query: satisfied by *LSHIndex, *ShardedIndex, and
 	// *ShardGather interchangeably, with bit-identical results.
 	NNIndex = core.NNIndex
+	// PreRanker is the retuning seam for Hamming pre-ranking: *LSHIndex
+	// and *ShardedIndex accept a live SetPreRank(n); 0 restores exact
+	// bit-identical ranking.
+	PreRanker = core.PreRanker
 	// FastPathDigest is the live fast-path snapshot exposed as
 	// scatter_fastpath_* series by the obs registry.
 	FastPathDigest = obs.FastPathDigest
@@ -195,6 +203,11 @@ type (
 	// (per-shard compute scaling, gather overhead, loss/quorum policy).
 	ShardingSimOptions = core.ShardingSimOptions
 )
+
+// NewLSHIndex creates an empty LSH index — the recognition database
+// kernel: SoA vector arena, Add-time norm caching, packed sign
+// sketches, and optional Hamming pre-ranking (LSHConfig.PreRank).
+func NewLSHIndex(cfg LSHConfig) *LSHIndex { return lsh.New(cfg) }
 
 // ShardOfID maps a reference-object ID to its owning shard.
 func ShardOfID(id int, shards int) int { return lsh.ShardOf(id, shards) }
